@@ -1,0 +1,1 @@
+bench/exp_ablate.ml: Exp_common Kernel List Manager Printf Report Rng System Table Treesls_ckpt Treesls_kernel Treesls_nvm Treesls_sim

@@ -1,0 +1,1 @@
+bench/exp_common.ml: List Printf Treesls Treesls_apps Treesls_cap Treesls_ckpt Treesls_kernel Treesls_sim Treesls_util

@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Exp_common List Rng State System Table

@@ -1,0 +1,1 @@
+bench/exp_fig11.ml: Exp_common Kv_app List Printf Rng System Table

@@ -1,0 +1,1 @@
+bench/exp_fig12.ml: Bytes Exp_common Histogram Kernel Kv_app List Printf Rng System Table Treesls_extsync

@@ -1,0 +1,1 @@
+bench/exp_fig13.ml: Exp_common Kv_app List Rng System Table Treesls_baselines Treesls_workloads

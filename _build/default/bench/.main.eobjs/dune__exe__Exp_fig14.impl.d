@@ -1,0 +1,1 @@
+bench/exp_fig14.ml: Clock Exp_common Histogram List Lsm Manager Rng System Table Treesls_baselines Treesls_workloads

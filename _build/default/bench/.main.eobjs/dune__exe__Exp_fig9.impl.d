@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Exp_common Hashtbl Kobj List Option Report Rng Table

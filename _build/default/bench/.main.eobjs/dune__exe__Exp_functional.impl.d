@@ -1,0 +1,1 @@
+bench/exp_functional.ml: Exp_common List Printexc Printf Rng System Table Treesls_ckpt

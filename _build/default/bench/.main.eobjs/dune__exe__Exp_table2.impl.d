@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Census Exp_common List Manager Printf Rng System Table

@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Exp_common Hashtbl Kobj List Manager Printf Rng State Stats System Table

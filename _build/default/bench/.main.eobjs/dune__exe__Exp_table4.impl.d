@@ -1,0 +1,1 @@
+bench/exp_table4.ml: Exp_common Kernel List Report Rng System Table

@@ -1,0 +1,205 @@
+(* Shared machinery for the experiment harness: booting configured
+   systems, launching the paper's workloads, and the open-/closed-loop
+   drivers that measure simulated latency and throughput. *)
+
+module System = Treesls.System
+module Kernel = Treesls_kernel.Kernel
+module Manager = Treesls_ckpt.Manager
+module Report = Treesls_ckpt.Report
+module State = Treesls_ckpt.State
+module Census = Treesls_cap.Census
+module Kobj = Treesls_cap.Kobj
+module Rng = Treesls_util.Rng
+module Stats = Treesls_util.Stats
+module Histogram = Treesls_util.Histogram
+module Table = Treesls_util.Table
+module Clock = Treesls_sim.Clock
+module Kv_app = Treesls_apps.Kv_app
+module Lsm = Treesls_apps.Lsm
+module Sqlite = Treesls_apps.Sqlite
+module Phoenix = Treesls_apps.Phoenix
+module Kvstore = Treesls_apps.Kvstore
+
+let features ~ckpt ~track ~copy ~hybrid =
+  { State.ckpt_enabled = ckpt; track_dirty = track; copy_on_fault = copy; hybrid }
+
+let full_features () = features ~ckpt:true ~track:true ~copy:true ~hybrid:true
+
+let boot ?(interval_us = 1000) ?(features = full_features ()) ?(nvm_pages = 1 lsl 16) () =
+  System.boot ~interval_us ~features ~nvm_pages ()
+
+(* ------------------------------------------------------------------ *)
+(* The seven workloads of Table 2 / Figure 9, unified behind "one op". *)
+
+type workload =
+  | W_default
+  | W_sqlite
+  | W_leveldb
+  | W_wordcount
+  | W_kmeans
+  | W_redis
+  | W_memcached
+  | W_pca
+
+let workload_name = function
+  | W_default -> "Default"
+  | W_sqlite -> "SQLite"
+  | W_leveldb -> "LevelDB"
+  | W_wordcount -> "WordCount"
+  | W_kmeans -> "KMeans"
+  | W_redis -> "Redis"
+  | W_memcached -> "Memcached"
+  | W_pca -> "PCA"
+
+let table2_workloads =
+  [ W_default; W_sqlite; W_leveldb; W_wordcount; W_kmeans; W_redis; W_memcached ]
+
+type launched = {
+  step : unit -> unit;  (** one application operation *)
+  refresh : unit -> unit;  (** post-recovery rebinding *)
+  touched_mib : unit -> float;  (** runtime memory touched by the app *)
+}
+
+let mib_of_pages sys pages =
+  float_of_int (pages * (Kernel.cost (System.kernel sys)).Treesls_sim.Cost.page_size)
+  /. (1024.0 *. 1024.0)
+
+let census sys = Census.collect ~root:(Kernel.root (System.kernel sys))
+
+let launch sys rng workload =
+  let base_pages = (census sys).Census.app_pages in
+  let touched () = mib_of_pages sys ((census sys).Census.app_pages - base_pages) in
+  match workload with
+  | W_default ->
+    {
+      step = (fun () -> Clock.advance (System.clock sys) 20_000);
+      refresh = (fun () -> ());
+      touched_mib = touched;
+    }
+  | W_sqlite ->
+    let app = Sqlite.launch sys in
+    (* preload some rows *)
+    for i = 0 to 4_999 do
+      Sqlite.op_step app Sqlite.Insert i
+    done;
+    { step = (fun () -> Sqlite.step app rng); refresh = (fun () -> Sqlite.refresh app); touched_mib = touched }
+  | W_leveldb ->
+    let app = Lsm.launch sys Lsm.Leveldb in
+    let n = ref 0 in
+    {
+      step =
+        (fun () ->
+          Lsm.fillbatch app ~base:!n ~count:16;
+          n := !n + 16);
+      refresh = (fun () -> Lsm.refresh app);
+      touched_mib = touched;
+    }
+  | W_wordcount ->
+    let app = Phoenix.launch sys Phoenix.Wordcount in
+    { step = (fun () -> Phoenix.step app rng); refresh = (fun () -> Phoenix.refresh app); touched_mib = touched }
+  | W_kmeans ->
+    let app = Phoenix.launch sys Phoenix.Kmeans in
+    { step = (fun () -> Phoenix.step app rng); refresh = (fun () -> Phoenix.refresh app); touched_mib = touched }
+  | W_pca ->
+    let app = Phoenix.launch sys Phoenix.Pca in
+    { step = (fun () -> Phoenix.step app rng); refresh = (fun () -> Phoenix.refresh app); touched_mib = touched }
+  | W_redis ->
+    let app = Kv_app.launch ~keys_hint:40_000 ~value_size:1024 sys Kv_app.Redis in
+    for i = 0 to 9_999 do
+      Kv_app.set_i app i
+    done;
+    (* skewed keys: Redis's SET benchmark concentrates on a hot set, the
+       best case for hybrid copy (Table 4: 89% of faults eliminated) *)
+    let zipf = Treesls_util.Zipf.create ~theta:1.1 ~n:4_000 rng in
+    {
+      step = (fun () -> Kv_app.set_i app (Treesls_util.Zipf.next zipf));
+      refresh = (fun () -> Kv_app.refresh app);
+      touched_mib = touched;
+    }
+  | W_memcached ->
+    let app = Kv_app.launch ~keys_hint:40_000 ~value_size:100 sys Kv_app.Memcached in
+    for i = 0 to 9_999 do
+      Kv_app.set_i app i
+    done;
+    {
+      step = (fun () -> Kv_app.set_i app (Rng.int rng 40_000));
+      refresh = (fun () -> Kv_app.refresh app);
+      touched_mib = touched;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Drivers *)
+
+(* Closed loop: issue [n] ops back to back, taking periodic checkpoints. *)
+let run_ops sys ~n step =
+  for _ = 1 to n do
+    step ();
+    ignore (System.tick sys)
+  done
+
+(* Collect the reports of the checkpoints that fire while running. *)
+let collect_reports sys ~n step =
+  let reports = ref [] in
+  for _ = 1 to n do
+    step ();
+    match System.tick sys with Some r -> reports := r :: !reports | None -> ()
+  done;
+  List.rev !reports
+
+type lat_result = {
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  mean_us : float;
+  tput_kops : float;
+  sim_s : float;
+}
+
+let lat_of_histogram h ~ops ~sim_ns =
+  let us v = float_of_int v /. 1e3 in
+  {
+    p50_us = us (Histogram.percentile h 50.0);
+    p95_us = us (Histogram.percentile h 95.0);
+    p99_us = us (Histogram.percentile h 99.0);
+    mean_us = Histogram.mean h /. 1e3;
+    tput_kops = (if sim_ns = 0 then 0.0 else float_of_int ops /. (float_of_int sim_ns /. 1e9) /. 1e3);
+    sim_s = float_of_int sim_ns /. 1e9;
+  }
+
+(* Open loop: requests arrive every [gap_ns]; a request arriving during a
+   checkpoint pause queues behind it, so pause time surfaces in the tail
+   latency exactly as in the paper's client-server measurements. *)
+let open_loop sys ~n ~gap_ns step =
+  let h = Histogram.create () in
+  let t0 = System.now_ns sys in
+  for i = 0 to n - 1 do
+    let arrival = t0 + (i * gap_ns) in
+    if System.now_ns sys < arrival then
+      Clock.advance (System.clock sys) (arrival - System.now_ns sys);
+    step i;
+    ignore (System.tick sys);
+    Histogram.add h (System.now_ns sys - arrival)
+  done;
+  let sim_ns = System.now_ns sys - t0 in
+  lat_of_histogram h ~ops:n ~sim_ns
+
+(* Closed loop with latency = service time (ops do not queue). *)
+let closed_loop_lat sys ~n step =
+  let h = Histogram.create () in
+  let t0 = System.now_ns sys in
+  for i = 0 to n - 1 do
+    let s = System.now_ns sys in
+    step i;
+    ignore (System.tick sys);
+    Histogram.add h (System.now_ns sys - s)
+  done;
+  let sim_ns = System.now_ns sys - t0 in
+  lat_of_histogram h ~ops:n ~sim_ns
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+
+let avg_reports reports f =
+  match reports with
+  | [] -> 0.0
+  | l -> List.fold_left (fun acc r -> acc +. float_of_int (f r)) 0.0 l /. float_of_int (List.length l)

@@ -1,0 +1,44 @@
+(* Figure 10: breakdown of runtime overhead and the effect of hybrid
+   copy, at 1000 Hz checkpointing. Configurations are cumulative:
+     base            no checkpointing
+     +checkpoint     STW tree checkpoint only (pages untracked)
+     +page fault     dirty pages re-protected, faults taken, no copying
+     +page memcpy    full copy-on-write backups (correct persistence)
+     +hybrid copy    hot pages cached in DRAM and stop-and-copied
+   The bars report run time normalised to base. *)
+
+open Exp_common
+
+let configs =
+  [
+    ("base (no checkpoint)", features ~ckpt:false ~track:false ~copy:false ~hybrid:false);
+    ("+ checkpoint", features ~ckpt:true ~track:false ~copy:false ~hybrid:false);
+    ("+ page fault", features ~ckpt:true ~track:true ~copy:false ~hybrid:false);
+    ("+ page memcpy", features ~ckpt:true ~track:true ~copy:true ~hybrid:false);
+    ("+ hybrid copy", features ~ckpt:true ~track:true ~copy:true ~hybrid:true);
+  ]
+
+let workloads = [ W_memcached; W_redis; W_kmeans; W_pca ]
+
+let measure w feats =
+  let sys = boot ~features:{ feats with State.ckpt_enabled = feats.State.ckpt_enabled } () in
+  let rng = Rng.create 17L in
+  let app = launch sys rng w in
+  (* warmup outside measurement *)
+  run_ops sys ~n:2_000 app.step;
+  let t0 = System.now_ns sys in
+  run_ops sys ~n:10_000 app.step;
+  System.now_ns sys - t0
+
+let run () =
+  let rows =
+    List.map
+      (fun w ->
+        let times = List.map (fun (_, f) -> float_of_int (measure w f)) configs in
+        let base = List.hd times in
+        workload_name w :: List.map (fun t -> f2 (t /. base)) times)
+      workloads
+  in
+  Table.print ~title:"Figure 10: runtime overhead breakdown (normalised run time)"
+    ~header:("Workload" :: List.map fst configs)
+    rows

@@ -1,0 +1,52 @@
+(* Figure 9: breakdown of stop-the-world checkpointing at 1000 Hz.
+   (a) time of the main checkpointing procedure (IPI / capability tree /
+       others) next to the parallel hybrid-copy time;
+   (b) capability-tree time by object type. *)
+
+open Exp_common
+
+let steady_reports sys app ~ops =
+  (* skip the first (full) checkpoints, then measure *)
+  run_ops sys ~n:(ops / 4) app.step;
+  collect_reports sys ~n:ops app.step
+
+let run () =
+  let rows_a = ref [] and rows_b = ref [] in
+  List.iter
+    (fun w ->
+      let sys = boot () in
+      let rng = Rng.create 11L in
+      let app = launch sys rng w in
+      let ops = match w with W_default -> 400 | _ -> 8_000 in
+      let reports = steady_reports sys app ~ops in
+      let avg f = avg_reports reports f /. 1e3 in
+      let ipi = avg (fun r -> r.Report.ipi_ns) in
+      let cap = avg (fun r -> r.Report.captree_ns) in
+      let others = avg (fun r -> r.Report.others_ns) in
+      let hybrid = avg (fun r -> r.Report.hybrid_ns) in
+      rows_a :=
+        [ workload_name w; f1 ipi; f1 cap; f1 others; f1 (ipi +. cap +. others); f1 hybrid ]
+        :: !rows_a;
+      (* per-kind capability-tree breakdown *)
+      let kinds = Kobj.all_kinds in
+      let totals = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          List.iter
+            (fun (k, ns) ->
+              Hashtbl.replace totals k (ns + Option.value ~default:0 (Hashtbl.find_opt totals k)))
+            r.Report.per_kind_ns)
+        reports;
+      let n = max 1 (List.length reports) in
+      let cell k =
+        f2 (float_of_int (Option.value ~default:0 (Hashtbl.find_opt totals k)) /. float_of_int n /. 1e3)
+      in
+      rows_b := (workload_name w :: List.map cell kinds) :: !rows_b)
+    table2_workloads;
+  Table.print
+    ~title:"Figure 9(a): STW checkpoint time breakdown (us, avg per 1ms checkpoint)"
+    ~header:[ "Workload"; "IPI"; "Cap Tree"; "Others"; "Main total"; "Hybrid copy (parallel)" ]
+    (List.rev !rows_a);
+  Table.print ~title:"Figure 9(b): checkpointing the capability tree by object type (us)"
+    ~header:("Workload" :: List.map Kobj.kind_name Kobj.all_kinds)
+    (List.rev !rows_b)

@@ -1,0 +1,42 @@
+(* §7.2 functional tests: run every workload, pull the power at an
+   arbitrary point, reboot and verify the programs continue running with
+   expected behaviour. *)
+
+open Exp_common
+
+let crash_recover_continue w =
+  let sys = boot () in
+  let rng = Rng.create 43L in
+  let app = launch sys rng w in
+  run_ops sys ~n:1_500 app.step;
+  (* crash at an arbitrary (non-boundary) instant *)
+  run_ops sys ~n:(Rng.int rng 500) app.step;
+  let v_before = System.version sys in
+  System.crash sys;
+  let report = System.recover sys in
+  app.refresh ();
+  (* the system must have rolled back to the last committed version *)
+  let ok_version = report.Treesls_ckpt.Restore.version = v_before in
+  (* and keep running: another burst of work + another crash *)
+  run_ops sys ~n:1_000 app.step;
+  ignore (System.checkpoint sys);
+  System.crash sys;
+  let _ = System.recover sys in
+  app.refresh ();
+  run_ops sys ~n:500 app.step;
+  ok_version
+
+let run () =
+  let rows =
+    List.map
+      (fun w ->
+        let ok = try crash_recover_continue w with e -> (
+          Printf.printf "  %s raised %s\n" (workload_name w) (Printexc.to_string e);
+          false)
+        in
+        [ workload_name w; (if ok then "PASS" else "FAIL") ])
+      (table2_workloads @ [ W_pca ])
+  in
+  Table.print ~title:"Functional tests (§7.2): crash & reboot under running applications"
+    ~header:[ "Workload"; "Result" ]
+    rows

@@ -1,0 +1,65 @@
+(* Table 3: checkpoint/restore time of a single object, per type.
+   Full = first checkpoint (allocation + structure building);
+   Incr = subsequent checkpoints; Restore measured during recovery.
+   Min/Max taken across all workloads, like the paper. *)
+
+open Exp_common
+module Oc = State
+
+let run () =
+  let merged : (Kobj.kind, State.obj_cost) Hashtbl.t = Hashtbl.create 8 in
+  let merge kind (c : State.obj_cost) =
+    match Hashtbl.find_opt merged kind with
+    | None ->
+      Hashtbl.replace merged kind
+        {
+          State.full = Stats.merge c.State.full (Stats.create ());
+          incr = Stats.merge c.State.incr (Stats.create ());
+          restore = Stats.merge c.State.restore (Stats.create ());
+        }
+    | Some acc ->
+      Hashtbl.replace merged kind
+        {
+          State.full = Stats.merge acc.State.full c.State.full;
+          incr = Stats.merge acc.State.incr c.State.incr;
+          restore = Stats.merge acc.State.restore c.State.restore;
+        }
+  in
+  List.iter
+    (fun w ->
+      let sys = boot () in
+      let rng = Rng.create 13L in
+      let app = launch sys rng w in
+      let ops = match w with W_default -> 200 | _ -> 3_000 in
+      run_ops sys ~n:ops app.step;
+      ignore (System.checkpoint sys);
+      (* measure restore costs with a real crash *)
+      ignore (System.crash_and_recover sys);
+      app.refresh ();
+      List.iter (fun (k, c) -> merge k c) (Manager.obj_costs (System.manager sys)))
+    table2_workloads;
+  let fmt_stat s pick =
+    if Stats.is_empty s then "-" else Printf.sprintf "%.2f" (pick s /. 1e3)
+  in
+  let rows =
+    List.filter_map
+      (fun kind ->
+        match Hashtbl.find_opt merged kind with
+        | None -> None
+        | Some c ->
+          Some
+            [
+              Kobj.kind_name kind;
+              fmt_stat c.State.incr Stats.min;
+              fmt_stat c.State.incr Stats.max;
+              fmt_stat c.State.full Stats.min;
+              fmt_stat c.State.full Stats.max;
+              fmt_stat c.State.restore Stats.min;
+              fmt_stat c.State.restore Stats.max;
+            ])
+      Kobj.all_kinds
+  in
+  Table.print ~title:"Table 3: checkpoint/restore time of a single object (us)"
+    ~header:
+      [ "Object"; "Incr Min"; "Incr Max"; "Full Min"; "Full Max"; "Restore Min"; "Restore Max" ]
+    rows

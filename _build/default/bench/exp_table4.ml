@@ -1,0 +1,53 @@
+(* Table 4: effect of the hybrid memory checkpoint. Per checkpoint
+   interval: runtime page faults that still happen, dirty DRAM-cached
+   pages speculatively stop-and-copied, total cached pages, the fraction
+   of faults eliminated and the dirty rate of the cache. *)
+
+open Exp_common
+
+let workloads = [ W_memcached; W_redis; W_kmeans; W_pca ]
+
+let run () =
+  let rows =
+    List.map
+      (fun w ->
+        let sys = boot () in
+        let rng = Rng.create 23L in
+        let app = launch sys rng w in
+        (* warm up so the hot set migrates *)
+        run_ops sys ~n:8_000 app.step;
+        let k = System.kernel sys in
+        let faults0 = (Kernel.stats k).Kernel.cow_faults in
+        let reports = collect_reports sys ~n:8_000 app.step in
+        let faults = (Kernel.stats k).Kernel.cow_faults - faults0 in
+        let n = max 1 (List.length reports) in
+        let per_interval v = float_of_int v /. float_of_int n in
+        let dirty_cached = avg_reports reports (fun r -> r.Report.dram_dirty_copied) in
+        let cached = avg_reports reports (fun r -> r.Report.cached_pages) in
+        let faults_pi = per_interval faults in
+        let eliminated =
+          if dirty_cached +. faults_pi <= 0.0 then 0.0
+          else dirty_cached /. (dirty_cached +. faults_pi)
+        in
+        let dirty_rate = if cached <= 0.0 then 0.0 else dirty_cached /. cached in
+        [
+          workload_name w;
+          f1 faults_pi;
+          f1 dirty_cached;
+          f1 cached;
+          Table.fmt_pct eliminated;
+          Table.fmt_pct dirty_rate;
+        ])
+      workloads
+  in
+  Table.print ~title:"Table 4: effect of hybrid memory checkpoint (per 1ms interval)"
+    ~header:
+      [
+        "Workload";
+        "# runtime page faults";
+        "# dirty cached pages";
+        "# cached pages";
+        "Faults eliminated";
+        "Dirty rate in cache";
+      ]
+    rows

@@ -1,0 +1,134 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§7) from the simulator, plus the ablations in DESIGN.md.
+
+     dune exec bench/main.exe                 # all experiments
+     dune exec bench/main.exe -- --exp fig13  # one experiment
+     dune exec bench/main.exe -- --bechamel   # host-time microbenchmarks
+*)
+
+let experiments =
+  [
+    ("functional", ("Functional tests (paper 7.2): crash/recovery matrix", Exp_functional.run));
+    ("table2", ("Table 2: workload object composition", Exp_table2.run));
+    ("fig9", ("Figure 9: STW checkpoint breakdown", Exp_fig9.run));
+    ("table3", ("Table 3: per-object checkpoint/restore times", Exp_table3.run));
+    ("fig10", ("Figure 10: runtime overhead breakdown", Exp_fig10.run));
+    ("table4", ("Table 4: hybrid copy effect", Exp_table4.run));
+    ("fig11", ("Figure 11: Memcached latency vs interval", Exp_fig11.run));
+    ("fig12", ("Figure 12: external synchrony", Exp_fig12.run));
+    ("fig13", ("Figure 13: YCSB on Redis", Exp_fig13.run));
+    ("fig14", ("Figure 14: RocksDB Prefix_dist", Exp_fig14.run));
+    ("ablate", ("Design ablations", Exp_ablate.run));
+  ]
+
+(* --- Bechamel host-time microbenchmarks: one per table/figure -------- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let open Exp_common in
+  let sys = boot () in
+  ignore (System.checkpoint sys);
+  let rng = Rng.create 61L in
+  let mem = Kv_app.launch ~keys_hint:20_000 sys Kv_app.Memcached in
+  for i = 0 to 4_999 do
+    Kv_app.set_i mem i
+  done;
+  let lsm = Lsm.launch sys Lsm.Rocksdb in
+  let gen = Treesls_workloads.Prefix_dist.create (Rng.create 67L) in
+  let ycsb = Treesls_workloads.Ycsb.create Treesls_workloads.Ycsb.A ~keys:5_000 (Rng.create 71L) in
+  [
+    Test.make ~name:"table2-census" (Staged.stage (fun () -> ignore (census sys)));
+    Test.make ~name:"fig9-incremental-checkpoint"
+      (Staged.stage (fun () -> ignore (System.checkpoint sys)));
+    Test.make ~name:"table3-snapshot-object"
+      (Staged.stage (fun () ->
+           ignore
+             (Treesls_ckpt.Snapshot.take
+                (Treesls_cap.Kobj.Cap_group (Kernel.root (System.kernel sys))))));
+    Test.make ~name:"fig10-fig11-memcached-set"
+      (Staged.stage (fun () ->
+           Kv_app.set_i mem (Rng.int rng 5_000);
+           ignore (System.tick sys)));
+    Test.make ~name:"table4-page-fault-path"
+      (Staged.stage (fun () -> Kv_app.set_i mem (Rng.int rng 20_000)));
+    Test.make ~name:"fig13-ycsb-op"
+      (Staged.stage (fun () ->
+           match Treesls_workloads.Ycsb.next ycsb with
+           | Treesls_workloads.Ycsb.Read k -> ignore (Kv_app.get_i mem (k mod 5_000))
+           | Treesls_workloads.Ycsb.Update k -> Kv_app.set_i mem (k mod 5_000)
+           | Treesls_workloads.Ycsb.Insert k -> Kv_app.set_i mem (k mod 20_000)));
+    Test.make ~name:"fig14-rocksdb-op"
+      (Staged.stage (fun () ->
+           match Treesls_workloads.Prefix_dist.next gen with
+           | Treesls_workloads.Prefix_dist.Put { key; value } -> Lsm.put lsm ~key ~value
+           | Treesls_workloads.Prefix_dist.Get { key } -> ignore (Lsm.get lsm ~key)));
+    Test.make ~name:"fig12-ring-roundtrip"
+      (Staged.stage
+         (let netdrv =
+            match Kernel.find_process (System.kernel sys) ~name:"netdrv" with
+            | Some p -> p
+            | None -> assert false
+          in
+          let ring =
+            Treesls_extsync.Ring.create (System.kernel sys) netdrv ~name:"bench" ~slots:64
+              ~slot_size:128
+          in
+          fun () ->
+            ignore (Treesls_extsync.Ring.append ring (Bytes.of_string "m"));
+            Treesls_extsync.Ring.on_checkpoint ring;
+            ignore (Treesls_extsync.Ring.pop_visible ring)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let tests = bechamel_tests () in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) ~kde:(Some 100) () in
+  Printf.printf "\n== Bechamel host-time microbenchmarks (one per table/figure) ==\n%!";
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"treesls" (bechamel_tests () |> fun _ -> tests)) in
+  let ols =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  Hashtbl.iter
+    (fun name est ->
+      match Analyze.OLS.estimates est with
+      | Some [ ns ] -> Printf.printf "  %-45s %12.0f ns/op\n" name ns
+      | Some _ | None -> Printf.printf "  %-45s (no estimate)\n" name)
+    ols
+
+(* --- CLI -------------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let want_bechamel = List.mem "--bechamel" args in
+  let exp =
+    let rec find = function
+      | "--exp" :: name :: _ -> Some name
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  if want_bechamel then run_bechamel ()
+  else begin
+    let to_run =
+      match exp with
+      | None -> experiments
+      | Some name -> (
+        match List.assoc_opt name experiments with
+        | Some e -> [ (name, e) ]
+        | None ->
+          Printf.eprintf "unknown experiment %s; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    in
+    List.iter
+      (fun (_, (title, run)) ->
+        Printf.printf "\n########## %s ##########\n%!" title;
+        let t0 = Unix.gettimeofday () in
+        run ();
+        Printf.printf "(experiment took %.1fs host time)\n%!" (Unix.gettimeofday () -. t0))
+      to_run
+  end

@@ -1,0 +1,149 @@
+(* Command-line driver for the TreeSLS simulator.
+
+     treesls_cli census                      object census of a booted system
+     treesls_cli run -w redis -n 20000       run a workload with 1ms checkpoints
+     treesls_cli run -w memcached --crash 3  inject 3 power failures while running
+     treesls_cli ckpt                        one checkpoint, print the breakdown
+*)
+
+module System = Treesls.System
+module Kernel = Treesls_kernel.Kernel
+module Manager = Treesls_ckpt.Manager
+module Report = Treesls_ckpt.Report
+module Census = Treesls_cap.Census
+module Kobj = Treesls_cap.Kobj
+module Rng = Treesls_util.Rng
+open Cmdliner
+
+let workloads =
+  [
+    ("memcached", `Memcached);
+    ("redis", `Redis);
+    ("sqlite", `Sqlite);
+    ("leveldb", `Leveldb);
+    ("rocksdb", `Rocksdb);
+    ("wordcount", `Wordcount);
+    ("kmeans", `Kmeans);
+    ("pca", `Pca);
+  ]
+
+let launch sys rng = function
+  | `Memcached ->
+    let app = Treesls_apps.Kv_app.launch ~keys_hint:20_000 sys Treesls_apps.Kv_app.Memcached in
+    ( (fun () -> Treesls_apps.Kv_app.set_i app (Rng.int rng 20_000)),
+      fun () -> Treesls_apps.Kv_app.refresh app )
+  | `Redis ->
+    let app = Treesls_apps.Kv_app.launch ~keys_hint:20_000 sys Treesls_apps.Kv_app.Redis in
+    ( (fun () -> Treesls_apps.Kv_app.set_i app (Rng.int rng 20_000)),
+      fun () -> Treesls_apps.Kv_app.refresh app )
+  | `Sqlite ->
+    let app = Treesls_apps.Sqlite.launch sys in
+    ((fun () -> Treesls_apps.Sqlite.step app rng), fun () -> Treesls_apps.Sqlite.refresh app)
+  | `Leveldb ->
+    let app = Treesls_apps.Lsm.launch sys Treesls_apps.Lsm.Leveldb in
+    let n = ref 0 in
+    ( (fun () ->
+        Treesls_apps.Lsm.fillbatch app ~base:!n ~count:16;
+        n := !n + 16),
+      fun () -> Treesls_apps.Lsm.refresh app )
+  | `Rocksdb ->
+    let app = Treesls_apps.Lsm.launch sys Treesls_apps.Lsm.Rocksdb in
+    let n = ref 0 in
+    ( (fun () ->
+        incr n;
+        Treesls_apps.Lsm.put app ~key:(Printf.sprintf "k%08d" (Rng.int rng 50_000))
+          ~value:(String.make 100 'v')),
+      fun () -> Treesls_apps.Lsm.refresh app )
+  | (`Wordcount | `Kmeans | `Pca) as kind ->
+    let kind =
+      match kind with
+      | `Wordcount -> Treesls_apps.Phoenix.Wordcount
+      | `Kmeans -> Treesls_apps.Phoenix.Kmeans
+      | `Pca -> Treesls_apps.Phoenix.Pca
+    in
+    let app = Treesls_apps.Phoenix.launch sys kind in
+    ((fun () -> Treesls_apps.Phoenix.step app rng), fun () -> Treesls_apps.Phoenix.refresh app)
+
+let print_census sys =
+  let c = Census.collect ~root:(Kernel.root (System.kernel sys)) in
+  Printf.printf "cap groups    %d\nthreads       %d\nipc conns     %d\nnotifications %d\n"
+    c.Census.cap_groups c.Census.threads c.Census.ipcs c.Census.notifications;
+  Printf.printf "pmos          %d\nvm spaces     %d\nirqs          %d\napp pages     %d\n"
+    c.Census.pmos c.Census.vmspaces c.Census.irqs c.Census.app_pages
+
+let census_cmd =
+  let run () =
+    let sys = System.boot () in
+    print_census sys
+  in
+  Cmd.v (Cmd.info "census" ~doc:"Boot the default system and print its object census")
+    Term.(const run $ const ())
+
+let ckpt_cmd =
+  let run () =
+    let sys = System.boot () in
+    let r1 = System.checkpoint sys in
+    let r2 = System.checkpoint sys in
+    Format.printf "full:        %a@." Report.pp r1;
+    Format.printf "incremental: %a@." Report.pp r2
+  in
+  Cmd.v (Cmd.info "ckpt" ~doc:"Take a full and an incremental checkpoint; print breakdowns")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (enum workloads) `Memcached
+      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to run (memcached, redis, ...)")
+  in
+  let ops =
+    Arg.(value & opt int 20_000 & info [ "n"; "ops" ] ~docv:"N" ~doc:"Operations to run")
+  in
+  let interval =
+    Arg.(
+      value & opt int 1000
+      & info [ "i"; "interval-us" ] ~docv:"US" ~doc:"Checkpoint interval in microseconds (0 = off)")
+  in
+  let crashes =
+    Arg.(
+      value & opt int 0
+      & info [ "crash" ] ~docv:"K" ~doc:"Inject K evenly spaced power failures")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Random seed") in
+  let run workload ops interval crashes seed =
+    let sys = System.boot ~interval_us:(max 1 interval) () in
+    if interval = 0 then System.set_interval_us sys None;
+    let rng = Rng.create (Int64.of_int seed) in
+    let step, refresh = launch sys rng workload in
+    let crash_every = if crashes > 0 then ops / (crashes + 1) else max_int in
+    let t_host = Unix.gettimeofday () in
+    for i = 1 to ops do
+      step ();
+      ignore (System.tick sys);
+      if crashes > 0 && i mod crash_every = 0 && System.version sys > 0 then begin
+        let r = System.crash_and_recover sys in
+        refresh ();
+        Printf.printf "crash at op %d: rolled back to v%d (%d objects)\n%!" i
+          r.Treesls_ckpt.Restore.version r.Treesls_ckpt.Restore.restored_objects
+      end
+    done;
+    let host = Unix.gettimeofday () -. t_host in
+    let sim_ms = float_of_int (System.now_ns sys) /. 1e6 in
+    let stats = System.stats sys in
+    Printf.printf "%d ops in %.1f ms simulated (%.2f s host)\n" ops sim_ms host;
+    Printf.printf "checkpoints: %d   page faults: %d (cow %d, alloc %d)   syscalls: %d\n"
+      (System.version sys) stats.Kernel.page_faults stats.Kernel.cow_faults
+      stats.Kernel.alloc_faults stats.Kernel.syscalls;
+    (match Manager.last_report (System.manager sys) with
+    | Some r -> Format.printf "last %a@." Report.pp r
+    | None -> ());
+    Printf.printf "checkpoint footprint: %.2f MiB\n"
+      (float_of_int (Manager.checkpoint_bytes (System.manager sys)) /. 1048576.0)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a workload under periodic checkpointing")
+    Term.(const run $ workload $ ops $ interval $ crashes $ seed)
+
+let () =
+  let doc = "TreeSLS whole-system persistent microkernel simulator" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "treesls_cli" ~doc) [ census_cmd; ckpt_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/eternal_log.ml: Bytes Option Printf Treesls Treesls_extsync Treesls_kernel Treesls_sim

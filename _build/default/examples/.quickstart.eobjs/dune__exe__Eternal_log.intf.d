@@ -1,0 +1,1 @@
+examples/eternal_log.mli:

@@ -1,0 +1,1 @@
+examples/kv_server.ml: Bytes List Option Printf Treesls Treesls_apps Treesls_extsync Treesls_kernel

@@ -1,0 +1,1 @@
+examples/persistent_compute.ml: Printf Treesls Treesls_apps Treesls_ckpt Treesls_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes List Option Printf Treesls Treesls_ckpt Treesls_kernel Treesls_sim

@@ -1,0 +1,1 @@
+examples/time_travel.ml: Bytes List Printf String Treesls Treesls_cap Treesls_ckpt Treesls_kernel Treesls_sim

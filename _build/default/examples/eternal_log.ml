@@ -1,0 +1,56 @@
+(* Eternal PMOs and checkpoint callbacks: building an outbox whose state
+   deliberately escapes rollback.
+
+   Ordinary memory is rolled back to the last checkpoint on recovery.
+   Driver-level structures that mirror the outside world (packets already
+   on the wire) must NOT roll back — TreeSLS gives drivers eternal PMOs
+   for exactly this (§5). This example shows the difference directly.
+
+     dune exec examples/eternal_log.exe
+*)
+
+module System = Treesls.System
+module Kernel = Treesls_kernel.Kernel
+module Ring = Treesls_extsync.Ring
+
+let () =
+  let sys = System.boot () in
+  let k = System.kernel sys in
+  let drv = Kernel.create_process k ~name:"mydriver" ~threads:1 ~prio:5 in
+
+  (* An ordinary heap page and an eternal ring, side by side. *)
+  let heap_vpn = Kernel.grow_heap k drv ~pages:1 in
+  let psz = (Kernel.cost k).Treesls_sim.Cost.page_size in
+  let ring = Ring.create k drv ~name:"outbox" ~slots:16 ~slot_size:64 in
+
+  Kernel.write_bytes k drv ~vaddr:(heap_vpn * psz) (Bytes.of_string "epoch-1");
+  ignore (Ring.append ring (Bytes.of_string "pkt-1"));
+  Ring.on_checkpoint ring;
+  ignore (System.checkpoint sys);
+
+  (* After the checkpoint, both structures advance... *)
+  Kernel.write_bytes k drv ~vaddr:(heap_vpn * psz) (Bytes.of_string "epoch-2");
+  ignore (Ring.append ring (Bytes.of_string "pkt-2"));
+  Printf.printf "before crash: heap=epoch-2, outbox has %d published + %d unpublished\n"
+    (Ring.visible_count ring) (Ring.unpublished_count ring);
+
+  (* ...and the power fails. *)
+  ignore (System.crash_and_recover sys);
+  let k = System.kernel sys in
+  let drv = Option.get (Kernel.find_process k ~name:"mydriver") in
+  let heap = Kernel.read_bytes k drv ~vaddr:(heap_vpn * psz) ~len:7 in
+  Printf.printf "after recovery: heap=%S (rolled back)\n" (Bytes.to_string heap);
+  assert (Bytes.to_string heap = "epoch-1");
+
+  (* The eternal ring did NOT roll back: the driver's restore callback
+     reconciles it — published packets stay, unpublished ones drop. *)
+  let ring = Ring.reattach k drv ~name:"outbox" ~slots:16 ~slot_size:64 in
+  Ring.on_restore ring;
+  (match Ring.pop_visible ring with
+  | Some m ->
+    Printf.printf "outbox after recovery: %S still queued for the wire\n" (Bytes.to_string m);
+    assert (Bytes.to_string m = "pkt-1")
+  | None -> assert false);
+  assert (Ring.pop_visible ring = None);
+  Printf.printf "pkt-2 (never made visible) was discarded; sender re-sends it\n";
+  print_endline "eternal_log OK"

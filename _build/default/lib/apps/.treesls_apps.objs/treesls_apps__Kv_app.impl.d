@@ -1,0 +1,1 @@
+lib/apps/kv_app.ml: Bytes Kvstore Launchpad List Printf String Treesls Treesls_cap Treesls_kernel Treesls_sim

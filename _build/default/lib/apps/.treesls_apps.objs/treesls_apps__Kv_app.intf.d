@@ -1,0 +1,1 @@
+lib/apps/kv_app.mli: Kvstore Treesls Treesls_kernel

@@ -1,0 +1,1 @@
+lib/apps/kvstore.ml: Bytes Char Int32 Int64 List String Treesls_cap Treesls_kernel Treesls_sim

@@ -1,0 +1,1 @@
+lib/apps/kvstore.mli: Treesls_kernel

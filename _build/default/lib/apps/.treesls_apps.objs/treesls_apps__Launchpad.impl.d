@@ -1,0 +1,1 @@
+lib/apps/launchpad.ml: List Treesls Treesls_cap Treesls_kernel

@@ -1,0 +1,1 @@
+lib/apps/launchpad.mli: Treesls Treesls_kernel

@@ -1,0 +1,1 @@
+lib/apps/lsm.ml: Bytes Kvstore Launchpad Printf String Treesls Treesls_kernel Treesls_nvm Treesls_sim

@@ -1,0 +1,1 @@
+lib/apps/lsm.mli: Treesls

@@ -1,0 +1,1 @@
+lib/apps/phoenix.ml: Bytes Kvstore Launchpad Option Printf Treesls Treesls_kernel Treesls_sim Treesls_util

@@ -1,0 +1,1 @@
+lib/apps/phoenix.mli: Treesls Treesls_util

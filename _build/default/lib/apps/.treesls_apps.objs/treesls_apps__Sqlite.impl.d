@@ -1,0 +1,1 @@
+lib/apps/sqlite.ml: Bytes Kvstore Launchpad Printf String Treesls Treesls_kernel Treesls_sim Treesls_util

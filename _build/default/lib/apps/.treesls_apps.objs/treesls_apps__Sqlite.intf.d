@@ -1,0 +1,1 @@
+lib/apps/sqlite.mli: Treesls Treesls_util

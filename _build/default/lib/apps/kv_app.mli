@@ -1,0 +1,41 @@
+(** Memcached- and Redis-style in-memory key-value servers.
+
+    Each launch creates a server process and a (checkpointed) client
+    process, reproducing the workload's Table 2 object census.  Operations
+    travel the real path: the client dirties its request buffer, makes a
+    synchronous IPC call, and the server executes the operation against its
+    PMO-resident {!Kvstore}.
+
+    Persistence is entirely transparent: neither server nor client contains
+    any persistence code. After a crash, {!refresh} re-derives handles and
+    re-registers the (volatile) IPC handler. *)
+
+module Kernel = Treesls_kernel.Kernel
+module System = Treesls.System
+
+type profile = Memcached | Redis
+
+type t
+
+val launch :
+  ?keys_hint:int -> ?value_size:int -> System.t -> profile -> t
+(** [keys_hint] sizes the hash table and region (default 100_000). *)
+
+val refresh : t -> unit
+(** Post-recovery: re-find processes, re-open the store, re-register the
+    IPC handler. *)
+
+val server : t -> Kernel.process
+val client : t -> Kernel.process
+val kv : t -> Kvstore.t
+val value_size : t -> int
+
+val set : t -> key:string -> value:string -> unit
+val get : t -> key:string -> string option
+val del : t -> key:string -> bool
+
+val set_i : t -> int -> unit
+(** [set_i t i] stores key ["key<i>"] with a deterministic value of
+    [value_size] bytes (benchmark convenience). *)
+
+val get_i : t -> int -> string option

@@ -1,0 +1,136 @@
+module System = Treesls.System
+module Kernel = Treesls_kernel.Kernel
+module Cost = Treesls_sim.Cost
+
+type variant = Rocksdb | Leveldb
+
+type t = {
+  sys : System.t;
+  variant : variant;
+  wal : bool;
+  mutable proc : Kernel.process;
+  mutable memtable : Kvstore.t;
+  mem_vpn : int;
+  mem_pages : int;
+  mem_buckets : int;
+  flush_bytes : int;
+  wal_vpn : int;
+  wal_pages : int;
+  mutable wal_cursor : int;
+  sst_vpn : int;
+  sst_pages : int;
+  mutable sst_cursor : int;
+  mutable flushes : int;
+}
+
+let name_of = function Rocksdb -> "rocksdb" | Leveldb -> "leveldb"
+
+(* LevelDB reproduces Table 2 row C: +1 CG, +5 threads, +3 IPC, +2
+   notifications, +18 PMOs, +1 VMS. RocksDB (not in Table 2) gets a
+   similar shape with the background-compaction thread pool. *)
+let census = function
+  | Leveldb -> (5, 3, 2, 6) (* threads, ipcs, notifs, extra: +mem+wal+sst = 18 PMOs *)
+  | Rocksdb -> (8, 3, 2, 6)
+
+let psz sys = (Kernel.cost (System.kernel sys)).Cost.page_size
+
+let launch ?(wal = false) ?(memtable_kb = 512) sys variant =
+  let threads, ipcs, notifs, extra = census variant in
+  let proc =
+    Launchpad.make_proc sys ~name:(name_of variant) ~threads ~ipcs ~notifs ~extra_pmos:extra
+  in
+  let k = System.kernel sys in
+  let p = psz sys in
+  let flush_bytes = memtable_kb * 1024 in
+  let mem_pages = (flush_bytes * 2 / p) + 4 in
+  let mem_buckets = max 64 (flush_bytes / 128) in
+  let memtable = Kvstore.create k proc ~buckets:mem_buckets ~pages:mem_pages in
+  let wal_pages = (flush_bytes / p) + 8 in
+  let wal_vpn = Kernel.grow_heap k proc ~pages:wal_pages in
+  let sst_pages = 16 * (flush_bytes / p) in
+  let sst_vpn = Kernel.grow_heap k proc ~pages:sst_pages in
+  {
+    sys;
+    variant;
+    wal;
+    proc;
+    memtable;
+    mem_vpn = Kvstore.base_vpn memtable;
+    mem_pages;
+    mem_buckets;
+    flush_bytes;
+    wal_vpn;
+    wal_pages;
+    wal_cursor = 0;
+    sst_vpn;
+    sst_pages;
+    sst_cursor = 0;
+    flushes = 0;
+  }
+
+let refresh t =
+  t.proc <- Launchpad.find_proc t.sys ~name:(name_of t.variant);
+  t.memtable <- Kvstore.attach (System.kernel t.sys) t.proc ~vpn:t.mem_vpn
+
+(* Append the record to the write-ahead log (plus a commit record),
+   modelling fsync-granularity persistence on the critical path. *)
+let wal_append t ~key ~value =
+  let k = System.kernel t.sys in
+  let p = psz t.sys in
+  let rec_bytes = 16 + String.length key + String.length value in
+  let total = t.wal_pages * p in
+  if t.wal_cursor + rec_bytes > total then t.wal_cursor <- 0;
+  Kernel.write_bytes k t.proc
+    ~vaddr:((t.wal_vpn * p) + t.wal_cursor)
+    (Bytes.of_string (key ^ value));
+  t.wal_cursor <- t.wal_cursor + ((rec_bytes + 31) / 32 * 32)
+
+(* Dump the memtable region sequentially into the SST ring and reset it:
+   sequential bulk reads + writes, like a real L0 flush. RocksDB performs
+   flushes on background threads, so the work is charged to a background
+   sink (an idle core) — the memory effects (page dirtying, allocation)
+   remain fully visible to the checkpointing machinery. *)
+let flush t =
+  let k = System.kernel t.sys in
+  let store = Kernel.store k in
+  Treesls_nvm.Store.with_sink store Treesls_nvm.Store.Off (fun () ->
+      let p = psz t.sys in
+      let used_bytes = Kvstore.bytes_used t.memtable in
+      let used_pages = min t.mem_pages ((used_bytes / p) + 1) in
+      if t.sst_cursor + used_pages > t.sst_pages then t.sst_cursor <- 0;
+      for i = 0 to used_pages - 1 do
+        let data = Kernel.read_bytes k t.proc ~vaddr:((t.mem_vpn + i) * p) ~len:p in
+        Kernel.write_bytes k t.proc ~vaddr:((t.sst_vpn + t.sst_cursor + i) * p) data
+      done;
+      t.sst_cursor <- t.sst_cursor + used_pages;
+      t.memtable <-
+        Kvstore.create_at k t.proc ~vpn:t.mem_vpn ~pages:t.mem_pages ~buckets:t.mem_buckets);
+  t.flushes <- t.flushes + 1
+
+let put t ~key ~value =
+  if t.wal then wal_append t ~key ~value;
+  (try Kvstore.put t.memtable ~key ~value
+   with Kvstore.Full ->
+     flush t;
+     Kvstore.put t.memtable ~key ~value);
+  if Kvstore.bytes_used t.memtable > t.flush_bytes then flush t
+
+let get t ~key =
+  match Kvstore.get t.memtable ~key with
+  | Some v -> Some v
+  | None ->
+    (* not in the memtable: probe the SSTs (charge a few page reads) *)
+    let k = System.kernel t.sys in
+    let p = psz t.sys in
+    if t.sst_cursor > 0 then
+      ignore (Kernel.read_bytes k t.proc ~vaddr:(t.sst_vpn * p) ~len:(min p 512));
+    None
+
+let fillbatch t ~base ~count =
+  for i = base to base + count - 1 do
+    put t ~key:(Printf.sprintf "seq%010d" i) ~value:(String.make 100 'b')
+  done
+
+let flushes t = t.flushes
+let wal_enabled t = t.wal
+let memtable_count t = Kvstore.count t.memtable

@@ -1,0 +1,31 @@
+(** LSM-tree persistent key-value stores (RocksDB / LevelDB style).
+
+    A memtable (PMO-resident {!Kvstore}) absorbs writes; when it exceeds
+    the flush threshold it is dumped sequentially into the SST ring region
+    and re-formatted.  An optional write-ahead log appends every operation
+    before applying it — the double write that Figure 14 shows TreeSLS
+    making unnecessary.  On TreeSLS the WAL is disabled and persistence
+    comes from transparent checkpointing alone.
+
+    The LevelDB variant exposes [fillbatch]: batched sequential fills, the
+    dbbench workload used in §7.3. *)
+
+module System = Treesls.System
+
+type variant = Rocksdb | Leveldb
+
+type t
+
+val launch : ?wal:bool -> ?memtable_kb:int -> System.t -> variant -> t
+val refresh : t -> unit
+
+val put : t -> key:string -> value:string -> unit
+val get : t -> key:string -> string option
+val fillbatch : t -> base:int -> count:int -> unit
+(** Insert [count] sequential records starting at [base] as one batch. *)
+
+val flushes : t -> int
+(** Memtable flushes since launch. *)
+
+val wal_enabled : t -> bool
+val memtable_count : t -> int

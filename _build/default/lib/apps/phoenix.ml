@@ -1,0 +1,154 @@
+module System = Treesls.System
+module Kernel = Treesls_kernel.Kernel
+module Rng = Treesls_util.Rng
+module Clock = Treesls_sim.Clock
+module Cost = Treesls_sim.Cost
+
+type kind = Wordcount | Kmeans | Pca
+
+type t = {
+  sys : System.t;
+  kind : kind;
+  mutable proc : Kernel.process;
+  input_vpn : int;
+  input_pages : int;
+  output_vpn : int;
+  output_pages : int;
+  mutable counts : Kvstore.t option; (* wordcount *)
+  counts_vpn : int;
+  mutable cursor : int;
+  mutable steps : int;
+}
+
+let name_of = function Wordcount -> "wordcount" | Kmeans -> "kmeans" | Pca -> "pca"
+let name t = name_of t.kind
+let kind t = t.kind
+
+(* Table 2 rows D/E: WordCount +12 threads +3 IPC +8 notifications +31
+   PMOs; KMeans +12/+3/+9/+24. PCA (8-threaded, §7.4) follows the same
+   shape. Extra heap PMOs make the totals: WC 1+12+3+input+counts+14=31;
+   KM 1+12+3+input+output+6=24. *)
+let census = function
+  | Wordcount -> (12, 3, 8, 13)
+  | Kmeans -> (12, 3, 9, 6)
+  | Pca -> (8, 3, 4, 8)
+
+let psz sys = (Kernel.cost (System.kernel sys)).Cost.page_size
+
+let launch ?(scale = 1) sys kind =
+  let threads, ipcs, notifs, extra = census kind in
+  let proc =
+    Launchpad.make_proc sys ~name:(name_of kind) ~threads ~ipcs ~notifs ~extra_pmos:extra
+  in
+  let k = System.kernel sys in
+  let p = psz sys in
+  let input_pages, output_pages =
+    match kind with
+    | Wordcount -> (scale * 6 * 1024 * 1024 / p, 0) (* 6 MiB text *)
+    | Kmeans ->
+      (* 10k points; the working set rewritten every iteration: the
+         assignment array plus per-thread partial sums (~200 pages). *)
+      (scale * 10_000 * 16 / p, scale * 200)
+    | Pca ->
+      (* result matrix much larger than the hot-page cache: the sliding
+         write set revisits a page only after many checkpoints, so pages
+         are demoted before they pay off (the paper's 11% case) *)
+      (scale * 512 * 512 * 8 / p, scale * 4096)
+  in
+  let input_pages = max 4 input_pages in
+  let input_vpn = Kernel.grow_heap k proc ~pages:input_pages in
+  let output_vpn =
+    if output_pages > 0 then Kernel.grow_heap k proc ~pages:(max 1 output_pages) else 0
+  in
+  let counts, counts_vpn =
+    match kind with
+    | Wordcount ->
+      let kv = Kvstore.create k proc ~buckets:8192 ~pages:512 in
+      (Some kv, Kvstore.base_vpn kv)
+    | Kmeans | Pca -> (None, 0)
+  in
+  {
+    sys;
+    kind;
+    proc;
+    input_vpn;
+    input_pages;
+    output_vpn;
+    output_pages = max 1 output_pages;
+    counts;
+    counts_vpn;
+    cursor = 0;
+    steps = 0;
+  }
+
+let refresh t =
+  t.proc <- Launchpad.find_proc t.sys ~name:(name_of t.kind);
+  match t.kind with
+  | Wordcount ->
+    t.counts <- Some (Kvstore.attach (System.kernel t.sys) t.proc ~vpn:t.counts_vpn)
+  | Kmeans | Pca -> ()
+
+let compute t ns = Clock.advance (Kernel.clock (System.kernel t.sys)) ns
+
+(* A vocabulary of 4096 words with Zipf-like popularity derived from the
+   rng: hot words update the same hash pages every interval. *)
+let wc_word rng =
+  let r = Rng.int rng 4096 in
+  Printf.sprintf "w%04d" (r land (r lsr 3) land 4095)
+
+let step t rng =
+  let k = System.kernel t.sys in
+  let p = psz t.sys in
+  (match t.kind with
+  | Wordcount ->
+    (* map: stream 4 input pages; reduce: bump ~24 word counters *)
+    for i = 0 to 3 do
+      let vpn = t.input_vpn + ((t.cursor + i) mod t.input_pages) in
+      ignore (Kernel.read_bytes k t.proc ~vaddr:(vpn * p) ~len:p)
+    done;
+    t.cursor <- (t.cursor + 4) mod t.input_pages;
+    let kv = Option.get t.counts in
+    for _ = 1 to 24 do
+      let w = wc_word rng in
+      let c = match Kvstore.get kv ~key:w with Some v -> int_of_string v | None -> 0 in
+      Kvstore.put kv ~key:w ~value:(string_of_int (c + 1))
+    done;
+    compute t 12_000
+  | Kmeans ->
+    (* one sub-iteration slice: read a slice of points, rewrite a stripe
+       of the iteration working set (assignments + partial sums). The
+       whole write set cycles every few steps, so it is hot at every
+       checkpoint — the ideal case for hybrid copy (Table 4: ~95% of its
+       faults eliminated). *)
+    for i = 0 to 7 do
+      let vpn = t.input_vpn + ((t.cursor + i) mod t.input_pages) in
+      ignore (Kernel.read_bytes k t.proc ~vaddr:(vpn * p) ~len:p)
+    done;
+    t.cursor <- (t.cursor + 8) mod t.input_pages;
+    for i = 0 to 24 do
+      let vpn = t.output_vpn + ((t.steps * 25 mod t.output_pages) + i) mod t.output_pages in
+      Kernel.write_bytes k t.proc ~vaddr:((vpn * p) + (t.steps mod 8 * 512)) (Bytes.make 512 'k')
+    done;
+    compute t 16_000
+  | Pca ->
+    (* covariance sweep: read matrix rows; the write set slides across
+       the large result matrix (poor locality: most writes fault, few
+       pages stay hot long enough to cache — Table 4's 11% case), with a
+       small hot accumulator band. *)
+    for i = 0 to 7 do
+      let vpn = t.input_vpn + ((t.cursor + i) mod t.input_pages) in
+      ignore (Kernel.read_bytes k t.proc ~vaddr:(vpn * p) ~len:p)
+    done;
+    for i = 0 to 23 do
+      let vpn = t.output_vpn + ((t.steps * 24 + i) mod t.output_pages) in
+      Kernel.write_bytes k t.proc ~vaddr:(vpn * p) (Bytes.make 256 'p')
+    done;
+    for i = 0 to 3 do
+      let vpn = t.output_vpn + (i mod t.output_pages) in
+      Kernel.write_bytes k t.proc ~vaddr:((vpn * p) + 1024) (Bytes.make 128 'q')
+    done;
+    t.cursor <- (t.cursor + 8) mod t.input_pages;
+    compute t 12_000);
+  t.steps <- t.steps + 1
+
+let progress t = t.steps

@@ -1,0 +1,33 @@
+(** Phoenix-2.0-style compute workloads: WordCount, KMeans, PCA.
+
+    Multi-threaded map-reduce kernels operating on PMO-backed regions; they
+    contribute the compute rows of Table 2, Figure 10 and Table 4. Work is
+    exposed as [step] slices so the benchmark driver can interleave
+    checkpoint ticks the way the real applications are interrupted by the
+    1000 Hz checkpoint timer.
+
+    Memory behaviour mirrors the paper's observations: WordCount streams a
+    big read-only dataset while hammering a small hot hash of counters;
+    KMeans re-writes a small centroid/assignment set every iteration (high
+    locality, 95% of its faults eliminated by hybrid copy); PCA sweeps
+    its write set across a large result matrix (poor locality, 11%). *)
+
+module System = Treesls.System
+
+type kind = Wordcount | Kmeans | Pca
+
+type t
+
+val launch : ?scale:int -> System.t -> kind -> t
+(** [scale] multiplies dataset sizes (default 1 = scaled-down datasets:
+    6 MiB text / 10k points / 512x512 matrix). *)
+
+val refresh : t -> unit
+val step : t -> Treesls_util.Rng.t -> unit
+(** One work slice (a few tens of microseconds of simulated time). *)
+
+val progress : t -> int
+(** Completed steps. *)
+
+val kind : t -> kind
+val name : t -> string

@@ -1,0 +1,1 @@
+lib/baselines/aurora.ml: Hashtbl Machine Treesls_sim

@@ -1,0 +1,1 @@
+lib/baselines/aurora.mli: Machine Treesls_sim

@@ -1,0 +1,1 @@
+lib/baselines/linux_redis.ml: Char Hashtbl Machine String Treesls_sim Treesls_workloads

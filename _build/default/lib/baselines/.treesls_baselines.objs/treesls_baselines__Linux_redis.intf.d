@@ -1,0 +1,1 @@
+lib/baselines/linux_redis.mli: Machine Treesls_sim Treesls_workloads

@@ -1,0 +1,1 @@
+lib/baselines/machine.ml: Treesls_sim Treesls_util

@@ -1,0 +1,1 @@
+lib/baselines/machine.mli: Treesls_sim Treesls_util

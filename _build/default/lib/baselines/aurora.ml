@@ -1,0 +1,99 @@
+module Cost = Treesls_sim.Cost
+
+type mode = Base | Base_wal | Ckpt of int | Api
+
+type t = {
+  m : Machine.t;
+  mode : mode;
+  data : (string, string) Hashtbl.t;
+  dirty : (int, unit) Hashtbl.t;
+  mutable next_ckpt : int;
+  mutable flush_end : int;
+  mutable ckpts : int;
+  mutable first_ckpt_at : int;
+  mutable api_ops : int;
+}
+
+(* RocksDB on Aurora's FreeBSD (glibc-class libc): slightly faster
+   baseline than TreeSLS's musl-built RocksDB, as the paper notes. *)
+let put_ns = 1_150
+let get_ns = 1_100
+let wal_dram_ns = 3_350 (* write syscall + page-cache copy + WAL format *)
+let api_record_ns = 1_500
+let api_barrier_every = 150
+let api_barrier_ns = 250_000
+
+let create ?cost mode =
+  {
+    m = Machine.create ?cost ();
+    mode;
+    data = Hashtbl.create 65536;
+    dirty = Hashtbl.create 4096;
+    next_ckpt = (match mode with Ckpt i -> i | Base | Base_wal | Api -> max_int);
+    flush_end = 0;
+    ckpts = 0;
+    first_ckpt_at = 0;
+    api_ops = 0;
+  }
+
+let machine t = t.m
+
+let page_of_key key = Hashtbl.hash key land 0xFFFFF / 16
+
+(* Checkpoint attempt at an operation boundary: the STW copy into shadow
+   buffers is charged to the interrupted operation; the NVMe flush runs in
+   the background but gates the next checkpoint. *)
+let maybe_checkpoint t =
+  match t.mode with
+  | Base | Base_wal | Api -> 0
+  | Ckpt interval ->
+    let now = Machine.now t.m in
+    if now >= t.next_ckpt && now >= t.flush_end then begin
+      let dirty_pages = Hashtbl.length t.dirty in
+      let c = Machine.cost t.m in
+      (* Aurora's pause only snapshots metadata and flips shadow-buffer
+         pointers; the page copying overlaps with execution. *)
+      let stw = 20_000 + (dirty_pages * 10) in
+      Machine.charge t.m stw;
+      let flush_bytes = dirty_pages * c.Cost.page_size in
+      let flush_ns =
+        max 5_000_000
+          (c.Cost.nvme_flush_base_ns + int_of_float (float_of_int flush_bytes *. c.Cost.nvme_byte_ns))
+      in
+      t.flush_end <- Machine.now t.m + flush_ns;
+      t.next_ckpt <- max (Machine.now t.m + interval) t.flush_end;
+      Hashtbl.reset t.dirty;
+      if t.ckpts = 0 then t.first_ckpt_at <- Machine.now t.m;
+      t.ckpts <- t.ckpts + 1;
+      stw
+    end
+    else 0
+
+let put t ~key ~value =
+  let stw = maybe_checkpoint t in
+  Hashtbl.replace t.data key value;
+  Hashtbl.replace t.dirty (page_of_key key) ();
+  let extra =
+    match t.mode with
+    | Base | Ckpt _ -> 0
+    | Base_wal -> wal_dram_ns
+    | Api ->
+      t.api_ops <- t.api_ops + 1;
+      api_record_ns + (if t.api_ops mod api_barrier_every = 0 then api_barrier_ns else 0)
+  in
+  let ns = put_ns + extra in
+  Machine.charge t.m ns;
+  Machine.record t.m (ns + stw)
+
+let get t ~key =
+  let stw = maybe_checkpoint t in
+  let r = Hashtbl.find_opt t.data key in
+  Machine.charge t.m get_ns;
+  Machine.record t.m (get_ns + stw);
+  r
+
+let checkpoints t = t.ckpts
+
+let avg_effective_interval_ns t =
+  if t.ckpts <= 1 then 0
+  else (Machine.now t.m - t.first_ckpt_at) / (t.ckpts - 1)

@@ -1,0 +1,29 @@
+(** Aurora-style single level store on a two-tier DRAM + NVMe machine
+    (Tsalapatis et al., SOSP'21) — the Figure 14 comparison system.
+
+    Aurora checkpoints by stopping the world, copying dirty state into
+    DRAM shadow buffers, and flushing them to the NVMe device
+    asynchronously.  The flush takes 5-7 ms, so checkpoints cannot commit
+    more often than that regardless of the configured interval — the
+    frequency floor that motivates TreeSLS's single-tier design.  The
+    journaling API ([Api]) instead persists per-operation records with
+    periodic device barriers; [Base_wal] models RocksDB's own WAL on a
+    DRAM-backed file system. *)
+
+type mode =
+  | Base  (** no persistence *)
+  | Base_wal  (** RocksDB WAL on a DRAM fs *)
+  | Ckpt of int  (** transparent checkpoints every [ns] (floor: flush time) *)
+  | Api  (** Aurora journaling API *)
+
+type t
+
+val create : ?cost:Treesls_sim.Cost.t -> mode -> t
+val machine : t -> Machine.t
+
+val put : t -> key:string -> value:string -> unit
+val get : t -> key:string -> string option
+
+val checkpoints : t -> int
+val avg_effective_interval_ns : t -> int
+(** Mean time between committed checkpoints (shows the 5-7 ms floor). *)

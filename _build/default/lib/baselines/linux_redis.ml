@@ -1,0 +1,43 @@
+module Ycsb = Treesls_workloads.Ycsb
+module Cost = Treesls_sim.Cost
+
+type mode = Base | Wal
+
+type t = { m : Machine.t; mode : mode; data : (int, string) Hashtbl.t }
+
+let create ?cost mode = { m = Machine.create ?cost (); mode; data = Hashtbl.create 65536 }
+let machine t = t.m
+
+(* Redis-on-Linux operation path: client syscall + loopback + server
+   dispatch + hash operation. Values from the paper's testbed order of
+   magnitude (machine-local UDP-like communication, us-scale). *)
+let read_ns = 2_200
+let write_ns = 2_600
+
+(* AOF on Ext4-DAX: format the log record, append it, fsync. The fsync
+   barrier plus the file-system journal commit put roughly 3-4x a base
+   write on the critical path (the paper's 64-78% throughput drop). *)
+let wal_ns value_size =
+  let c = Cost.default in
+  8_000 + int_of_float (float_of_int (value_size + 64) *. c.Cost.nvme_byte_ns *. 2.0)
+
+let value v size = String.make (min size 8) (Char.chr (65 + (v mod 26))) ^ string_of_int v
+
+let apply t ~value_size op =
+  match op with
+  | Ycsb.Read k ->
+    ignore (Hashtbl.find_opt t.data k);
+    read_ns
+  | Ycsb.Update k | Ycsb.Insert k ->
+    Hashtbl.replace t.data k (value k value_size);
+    write_ns + (match t.mode with Base -> 0 | Wal -> wal_ns value_size)
+
+let load t ~keys ~value_size =
+  for k = 0 to keys - 1 do
+    Hashtbl.replace t.data k (value k value_size)
+  done
+
+let do_op t ~value_size op =
+  let ns = apply t ~value_size op in
+  Machine.charge t.m ns;
+  Machine.record t.m ns

@@ -1,0 +1,21 @@
+(** Redis on Linux (Figure 13 baselines).
+
+    Two configurations: [Base] (no persistence guarantee) and [Wal]
+    (Redis's append-only file on Ext4-DAX over persistent memory).  The
+    WAL adds an operation-log write plus an fsync barrier on the critical
+    path of every write — the double write TreeSLS's transparent
+    checkpointing avoids. Data is kept in a host hash table (only the cost
+    model matters for the comparison; crash recovery of the baseline is
+    out of scope). *)
+
+type mode = Base | Wal
+
+type t
+
+val create : ?cost:Treesls_sim.Cost.t -> mode -> t
+val machine : t -> Machine.t
+
+val load : t -> keys:int -> value_size:int -> unit
+(** Populate without measuring. *)
+
+val do_op : t -> value_size:int -> Treesls_workloads.Ycsb.op -> unit

@@ -1,0 +1,1 @@
+lib/cap/census.ml: Kobj Radix

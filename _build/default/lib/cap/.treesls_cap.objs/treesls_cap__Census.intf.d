@@ -1,0 +1,1 @@
+lib/cap/census.mli: Kobj

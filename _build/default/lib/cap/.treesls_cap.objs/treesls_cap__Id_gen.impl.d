@@ -1,0 +1,1 @@
+lib/cap/id_gen.ml:

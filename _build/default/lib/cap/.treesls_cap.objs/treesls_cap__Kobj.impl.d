@@ -1,0 +1,1 @@
+lib/cap/kobj.ml: Array Hashtbl List Radix Rights Treesls_nvm

@@ -1,0 +1,1 @@
+lib/cap/kobj.mli: Radix Rights Treesls_nvm

@@ -1,0 +1,65 @@
+type t = {
+  cap_groups : int;
+  threads : int;
+  ipcs : int;
+  notifications : int;
+  pmos : int;
+  vmspaces : int;
+  irqs : int;
+  app_pages : int;
+}
+
+let collect ~root =
+  let cg = ref 0
+  and th = ref 0
+  and ipc = ref 0
+  and nt = ref 0
+  and pmo = ref 0
+  and vms = ref 0
+  and irq = ref 0
+  and pages = ref 0 in
+  Kobj.iter_tree ~root (fun obj ->
+      match obj with
+      | Kobj.Cap_group _ -> incr cg
+      | Kobj.Thread _ -> incr th
+      | Kobj.Ipc_conn _ -> incr ipc
+      | Kobj.Notification _ -> incr nt
+      | Kobj.Pmo p ->
+        incr pmo;
+        pages := !pages + Radix.cardinal p.Kobj.pmo_radix
+      | Kobj.Vmspace _ -> incr vms
+      | Kobj.Irq_notification _ -> incr irq);
+  {
+    cap_groups = !cg;
+    threads = !th;
+    ipcs = !ipc;
+    notifications = !nt;
+    pmos = !pmo;
+    vmspaces = !vms;
+    irqs = !irq;
+    app_pages = !pages;
+  }
+
+let count t = function
+  | Kobj.Cap_group_k -> t.cap_groups
+  | Kobj.Thread_k -> t.threads
+  | Kobj.Ipc_conn_k -> t.ipcs
+  | Kobj.Notification_k -> t.notifications
+  | Kobj.Pmo_k -> t.pmos
+  | Kobj.Vmspace_k -> t.vmspaces
+  | Kobj.Irq_k -> t.irqs
+
+let total_objects t =
+  t.cap_groups + t.threads + t.ipcs + t.notifications + t.pmos + t.vmspaces + t.irqs
+
+let diff a b =
+  {
+    cap_groups = a.cap_groups - b.cap_groups;
+    threads = a.threads - b.threads;
+    ipcs = a.ipcs - b.ipcs;
+    notifications = a.notifications - b.notifications;
+    pmos = a.pmos - b.pmos;
+    vmspaces = a.vmspaces - b.vmspaces;
+    irqs = a.irqs - b.irqs;
+    app_pages = a.app_pages - b.app_pages;
+  }

@@ -1,0 +1,22 @@
+(** Object census over the capability tree (paper Table 2).
+
+    Counts reachable objects by kind and sizes the runtime memory and
+    checkpoint footprint of the tree. *)
+
+type t = {
+  cap_groups : int;
+  threads : int;
+  ipcs : int;
+  notifications : int;
+  pmos : int;
+  vmspaces : int;
+  irqs : int;
+  app_pages : int;  (** pages mapped in PMO radix trees (runtime memory) *)
+}
+
+val collect : root:Kobj.cap_group -> t
+val count : t -> Kobj.kind -> int
+val total_objects : t -> int
+val diff : t -> t -> t
+(** Per-kind counts relative to a baseline (Table 2 shows workloads
+    relative to the Default system). *)

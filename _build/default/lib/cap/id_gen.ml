@@ -1,0 +1,10 @@
+type t = { mutable counter : int }
+
+let create () = { counter = 0 }
+
+let next t =
+  t.counter <- t.counter + 1;
+  t.counter
+
+let current t = t.counter
+let restore t v = t.counter <- v

@@ -1,0 +1,15 @@
+(** Per-kernel object id generator.
+
+    Ids are dense positive integers; the counter itself is part of the
+    checkpointed system state (a restored system must not reuse the ids of
+    checkpointed objects). *)
+
+type t
+
+val create : unit -> t
+val next : t -> int
+val current : t -> int
+(** Highest id issued so far. *)
+
+val restore : t -> int -> unit
+(** Reset the counter from a checkpoint. *)

@@ -1,0 +1,126 @@
+let bits = 6
+let fanout = 1 lsl bits
+
+type 'a slot = Empty | Leaf of 'a | Node of 'a node
+and 'a node = { slots : 'a slot array }
+
+type 'a t = {
+  mutable root : 'a node;
+  mutable height : int; (* levels below the root; 0 = root slots are leaves *)
+  mutable cardinal : int;
+  mutable nodes : int;
+}
+
+let new_node () = { slots = Array.make fanout Empty }
+
+let create () = { root = new_node (); height = 0; cardinal = 0; nodes = 1 }
+
+(* Max key representable with the current height. *)
+let capacity t = 1 lsl (bits * (t.height + 1))
+
+let grow t =
+  let parent = new_node () in
+  parent.slots.(0) <- Node t.root;
+  t.root <- parent;
+  t.height <- t.height + 1;
+  t.nodes <- t.nodes + 1
+
+let rec find_slot node level key =
+  let idx = (key lsr (bits * level)) land (fanout - 1) in
+  if level = 0 then (node, idx)
+  else
+    match node.slots.(idx) with
+    | Node child -> find_slot child (level - 1) key
+    | Empty | Leaf _ -> (node, -1) (* path absent *)
+
+let get t key =
+  if key < 0 then invalid_arg "Radix.get: negative key";
+  if key >= capacity t then None
+  else
+    let node, idx = find_slot t.root t.height key in
+    if idx < 0 then None
+    else match node.slots.(idx) with Leaf v -> Some v | Empty | Node _ -> None
+
+let mem t key = get t key <> None
+
+let set t key v =
+  if key < 0 then invalid_arg "Radix.set: negative key";
+  while key >= capacity t do
+    grow t
+  done;
+  let rec descend node level =
+    let idx = (key lsr (bits * level)) land (fanout - 1) in
+    if level = 0 then begin
+      (match node.slots.(idx) with
+      | Leaf _ -> ()
+      | Empty -> t.cardinal <- t.cardinal + 1
+      | Node _ -> invalid_arg "Radix.set: interior collision");
+      node.slots.(idx) <- Leaf v
+    end
+    else begin
+      let child =
+        match node.slots.(idx) with
+        | Node c -> c
+        | Empty ->
+          let c = new_node () in
+          node.slots.(idx) <- Node c;
+          t.nodes <- t.nodes + 1;
+          c
+        | Leaf _ -> invalid_arg "Radix.set: leaf collision"
+      in
+      descend child (level - 1)
+    end
+  in
+  descend t.root t.height
+
+let remove t key =
+  if key < 0 then invalid_arg "Radix.remove: negative key";
+  if key < capacity t then begin
+    let node, idx = find_slot t.root t.height key in
+    if idx >= 0 then
+      match node.slots.(idx) with
+      | Leaf _ ->
+        node.slots.(idx) <- Empty;
+        t.cardinal <- t.cardinal - 1
+      | Empty | Node _ -> ()
+  end
+
+let iter f t =
+  let rec walk node level prefix =
+    Array.iteri
+      (fun i slot ->
+        match slot with
+        | Empty -> ()
+        | Leaf v -> f ((prefix lsl bits) lor i) v
+        | Node child -> walk child (level - 1) ((prefix lsl bits) lor i))
+      node.slots
+  in
+  walk t.root t.height 0
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc
+
+let cardinal t = t.cardinal
+let node_count t = t.nodes
+
+let copy t =
+  let rec copy_node node =
+    let fresh = new_node () in
+    Array.iteri
+      (fun i slot ->
+        match slot with
+        | Empty -> ()
+        | Leaf v -> fresh.slots.(i) <- Leaf v
+        | Node child -> fresh.slots.(i) <- Node (copy_node child))
+      node.slots;
+    fresh
+  in
+  { root = copy_node t.root; height = t.height; cardinal = t.cardinal; nodes = t.nodes }
+
+let clear t =
+  t.root <- new_node ();
+  t.height <- 0;
+  t.cardinal <- 0;
+  t.nodes <- 1

@@ -1,0 +1,17 @@
+type t = { read : bool; write : bool; exec : bool; grant : bool }
+
+let full = { read = true; write = true; exec = true; grant = true }
+let read_only = { read = true; write = false; exec = false; grant = false }
+let rw = { read = true; write = true; exec = false; grant = false }
+let none = { read = false; write = false; exec = false; grant = false }
+
+let subset a ~of_:b =
+  (not a.read || b.read)
+  && (not a.write || b.write)
+  && (not a.exec || b.exec)
+  && (not a.grant || b.grant)
+
+let pp ppf t =
+  let flag c b = if b then c else '-' in
+  Format.fprintf ppf "%c%c%c%c" (flag 'r' t.read) (flag 'w' t.write) (flag 'x' t.exec)
+    (flag 'g' t.grant)

@@ -1,0 +1,13 @@
+(** Access rights carried by a capability. *)
+
+type t = { read : bool; write : bool; exec : bool; grant : bool }
+
+val full : t
+val read_only : t
+val rw : t
+val none : t
+val subset : t -> of_:t -> bool
+(** [subset a ~of_:b]: every right in [a] is present in [b] (capability
+    derivation may only shrink rights). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ckpt/active_list.ml: Array Hashtbl List Option Treesls_cap

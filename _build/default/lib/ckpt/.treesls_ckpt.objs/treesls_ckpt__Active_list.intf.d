@@ -1,0 +1,1 @@
+lib/ckpt/active_list.mli: Treesls_cap

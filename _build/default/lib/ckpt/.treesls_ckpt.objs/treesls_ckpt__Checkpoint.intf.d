@@ -1,0 +1,1 @@
+lib/ckpt/checkpoint.mli: Report State

@@ -1,0 +1,1 @@
+lib/ckpt/ckpt_page.ml: List Option Treesls_cap Treesls_nvm Treesls_sim

@@ -1,0 +1,1 @@
+lib/ckpt/ckpt_page.mli: Treesls_nvm

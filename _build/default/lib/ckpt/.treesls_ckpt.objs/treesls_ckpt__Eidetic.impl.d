@@ -1,0 +1,1 @@
+lib/ckpt/eidetic.ml: Bytes Hashtbl List Manager Oroot Snapshot State Treesls_cap Treesls_kernel Treesls_nvm

@@ -1,0 +1,1 @@
+lib/ckpt/eidetic.mli: Bytes Manager Snapshot Treesls_cap

@@ -1,0 +1,1 @@
+lib/ckpt/manager.ml: Active_list Checkpoint Ckpt_page Hashtbl Oroot Restore State Treesls_cap Treesls_kernel Treesls_nvm Treesls_sim

@@ -1,0 +1,1 @@
+lib/ckpt/manager.mli: Active_list Report Restore State Treesls_cap Treesls_kernel

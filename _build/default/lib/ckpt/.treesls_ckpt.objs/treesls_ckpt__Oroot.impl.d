@@ -1,0 +1,1 @@
+lib/ckpt/oroot.ml: Ckpt_page Snapshot Treesls_cap

@@ -1,0 +1,1 @@
+lib/ckpt/oroot.mli: Ckpt_page Snapshot Treesls_cap

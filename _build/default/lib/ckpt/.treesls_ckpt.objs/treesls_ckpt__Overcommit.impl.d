@@ -1,0 +1,1 @@
+lib/ckpt/overcommit.ml: Manager State Treesls_kernel Treesls_nvm

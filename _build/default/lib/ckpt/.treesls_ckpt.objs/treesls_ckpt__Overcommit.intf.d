@@ -1,0 +1,1 @@
+lib/ckpt/overcommit.mli: Manager

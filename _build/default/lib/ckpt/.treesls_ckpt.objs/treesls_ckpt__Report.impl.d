@@ -1,0 +1,1 @@
+lib/ckpt/report.ml: Format Treesls_cap

@@ -1,0 +1,1 @@
+lib/ckpt/report.mli: Format Treesls_cap

@@ -1,0 +1,1 @@
+lib/ckpt/restore.ml: Active_list Array Ckpt_page Hashtbl List Option Oroot Snapshot State Treesls_cap Treesls_kernel Treesls_nvm Treesls_sim Treesls_util

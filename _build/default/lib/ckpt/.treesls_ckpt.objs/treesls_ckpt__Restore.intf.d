@@ -1,0 +1,1 @@
+lib/ckpt/restore.mli: State Treesls_nvm

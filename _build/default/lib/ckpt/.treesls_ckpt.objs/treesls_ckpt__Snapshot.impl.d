@@ -1,0 +1,1 @@
+lib/ckpt/snapshot.ml: Array Fun List Option Treesls_cap Treesls_nvm

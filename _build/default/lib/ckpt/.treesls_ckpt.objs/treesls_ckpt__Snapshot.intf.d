@@ -1,0 +1,1 @@
+lib/ckpt/snapshot.mli: Treesls_cap Treesls_nvm

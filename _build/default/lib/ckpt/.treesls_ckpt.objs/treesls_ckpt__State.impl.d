@@ -1,0 +1,1 @@
+lib/ckpt/state.ml: Active_list Ckpt_page Hashtbl Oroot Report Snapshot Treesls_cap Treesls_kernel Treesls_nvm Treesls_sim Treesls_util

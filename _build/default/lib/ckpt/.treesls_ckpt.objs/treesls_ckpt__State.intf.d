@@ -1,0 +1,1 @@
+lib/ckpt/state.mli: Active_list Hashtbl Oroot Report Treesls_cap Treesls_kernel Treesls_nvm Treesls_util

@@ -1,0 +1,286 @@
+module Kobj = Treesls_cap.Kobj
+module Radix = Treesls_cap.Radix
+module Kernel = Treesls_kernel.Kernel
+module Pagetable = Treesls_kernel.Pagetable
+module Store = Treesls_nvm.Store
+module Paddr = Treesls_nvm.Paddr
+module Global_meta = Treesls_nvm.Global_meta
+module Cost = Treesls_sim.Cost
+module Clock = Treesls_sim.Clock
+module Stats = Treesls_util.Stats
+module Id_gen = Treesls_cap.Id_gen
+
+let now st = Clock.now (Kernel.clock st.State.kernel)
+
+let archive_page st pmo pno paddr =
+  match st.State.page_archive_hook with Some h -> h pmo pno paddr | None -> ()
+
+(* vpn -> (pmo, page index) within a VM space *)
+let resolve_region vms vpn =
+  let rec find = function
+    | [] -> None
+    | r :: rest ->
+      if vpn >= r.Kobj.vr_vpn && vpn < r.Kobj.vr_vpn + r.Kobj.vr_pages then
+        Some (r.Kobj.vr_pmo, vpn - r.Kobj.vr_vpn)
+      else find rest
+  in
+  find vms.Kobj.vs_regions
+
+(* Charge the cost of copying one object's own state into its backup. A
+   full (first-time) checkpoint additionally pays allocation and structure
+   construction, which is what separates the Full and Incr columns of
+   Table 3. *)
+let charge_object_copy st obj ~full =
+  let store = Kernel.store st.State.kernel in
+  let c = Store.cost store in
+  let bytes = Kobj.copy_bytes obj in
+  let copy = Cost.object_copy_ns c ~to_nvm:true ~bytes_len:bytes in
+  if full then Store.charge store (c.Cost.alloc_small_ns + (3 * copy))
+  else Store.charge store copy
+
+(* Checkpoint one object (step 2). Returns true if it was a full (first)
+   checkpoint. *)
+let checkpoint_object st obj ~new_ver =
+  let kernel = st.State.kernel in
+  let store = Kernel.store kernel in
+  let c = Store.cost store in
+  let oroot, full = State.oroot_for st obj ~version:new_ver in
+  oroot.Oroot.last_seen_ver <- new_ver;
+  oroot.Oroot.runtime <- Some obj;
+  charge_object_copy st obj ~full;
+  let snap = Snapshot.take obj in
+  Oroot.save oroot ~version:new_ver snap;
+  (match obj with
+  | Kobj.Pmo pmo when pmo.Kobj.pmo_kind = Kobj.Pmo_normal ->
+    let pages = Oroot.pages_exn oroot in
+    if full then
+      (* First checkpoint of this PMO: build a checkpointed-page record
+         for every present page. Dominates full-PMO checkpoint time. *)
+      Radix.iter
+        (fun pno paddr ->
+          ignore (Ckpt_page.ensure store pages ~pno ~born_ver:new_ver);
+          archive_page st pmo pno paddr)
+        pmo.Kobj.pmo_radix
+    else
+      List.iter
+        (fun pno -> ignore (Ckpt_page.ensure store pages ~pno ~born_ver:new_ver))
+        (State.drain_fresh st pmo)
+  | Kobj.Pmo _ | Kobj.Cap_group _ | Kobj.Thread _ | Kobj.Vmspace _ | Kobj.Ipc_conn _
+  | Kobj.Notification _ | Kobj.Irq_notification _ -> ());
+  (match obj with
+  | Kobj.Vmspace vms when st.State.features.State.track_dirty ->
+    (* Re-arm copy-on-write: mark pages dirtied since the last checkpoint
+       read-only again. DRAM-cached pages stay writable — they are covered
+       by stop-and-copy, and leaving them writable is precisely how hybrid
+       copy eliminates their faults. *)
+    let pt = Kernel.pagetable kernel vms in
+    let protected_n =
+      Pagetable.protect_dirty pt (fun vpn pte ->
+          (match resolve_region vms vpn with
+          | Some (pmo, pno) -> archive_page st pmo pno pte.Pagetable.paddr
+          | None -> ());
+          if Paddr.is_dram pte.Pagetable.paddr then false
+          else begin
+            Store.charge store c.Cost.mark_ro_ns;
+            (* clear the hardware dirty bit along with re-protection: the
+               page is now exactly as cold as its checkpoint *)
+            pte.Pagetable.dirty <- false;
+            true
+          end)
+    in
+    ignore protected_n
+  | Kobj.Vmspace _ | Kobj.Cap_group _ | Kobj.Thread _ | Kobj.Pmo _ | Kobj.Ipc_conn _
+  | Kobj.Notification _ | Kobj.Irq_notification _ -> ());
+  (full, Snapshot.bytes snap)
+
+(* Step 3: one core's traversal of its sub-list of the active page list. *)
+let hybrid_sublist st ~new_ver entries counters =
+  let kernel = st.State.kernel in
+  let store = Kernel.store kernel in
+  let dirty_copied, migrated_in, migrated_out = counters in
+  List.iter
+    (fun (e : Active_list.entry) ->
+      let pmo = e.Active_list.e_pmo and pno = e.Active_list.e_pno in
+      match Radix.get pmo.Kobj.pmo_radix pno with
+      | None -> Active_list.drop st.State.active e
+      | Some runtime ->
+        if not e.Active_list.e_dram then begin
+          (* newly appended: NVM -> DRAM migration (swapped-out pages wait
+             until a fault brings them back to NVM) *)
+          if not (Paddr.is_nvm runtime) then ()
+          else
+          match Store.alloc_dram_page store with
+          | None -> () (* DRAM cache full; stay on NVM *)
+          | Some dram ->
+            let oroot, _ = State.oroot_for st (Kobj.Pmo pmo) ~version:new_ver in
+            let pages = Oroot.pages_exn oroot in
+            ignore (Ckpt_page.ensure store pages ~pno ~born_ver:new_ver);
+            Store.copy_page store ~src:runtime ~dst:dram;
+            Kernel.remap_page kernel pmo ~pno dram;
+            (* The old NVM runtime page becomes the latest backup. *)
+            (match Ckpt_page.find pages pno with
+            | Some cp when cp.Ckpt_page.b2 = None ->
+              Ckpt_page.attach_runtime_as_backup pages ~pno ~old_runtime:runtime ~new_ver;
+              Store.seal_page store runtime;
+              (* CPP needs both backups: materialise b1 now if absent. *)
+              (match cp.Ckpt_page.b1 with
+              | Some _ -> ()
+              | None ->
+                let b1 = Store.alloc_page store in
+                Store.copy_page store ~src:dram ~dst:b1;
+                Store.seal_page store b1;
+                cp.Ckpt_page.b1 <- Some b1;
+                cp.Ckpt_page.b1_ver <- new_ver)
+            | Some _ | None ->
+              (* unexpected CPP state: undo the migration *)
+              Kernel.remap_page kernel pmo ~pno runtime;
+              Store.free_dram_page store dram);
+            (match Radix.get pmo.Kobj.pmo_radix pno with
+            | Some p when Paddr.is_dram p ->
+              e.Active_list.e_dram <- true;
+              e.Active_list.e_idle <- 0;
+              Kernel.clear_page_dirty kernel pmo ~pno;
+              incr migrated_in
+            | Some _ | None -> ())
+        end
+        else begin
+          let oroot, _ = State.oroot_for st (Kobj.Pmo pmo) ~version:new_ver in
+          let pages = Oroot.pages_exn oroot in
+          if Kernel.page_dirty kernel pmo ~pno then begin
+            (* dirty DRAM page: stop-and-copy into the stale backup *)
+            archive_page st pmo pno runtime;
+            Ckpt_page.stop_and_copy_dram store pages ~runtime ~pno ~new_ver;
+            Kernel.clear_page_dirty kernel pmo ~pno;
+            e.Active_list.e_idle <- 0;
+            incr dirty_copied
+          end
+          else begin
+            e.Active_list.e_idle <- e.Active_list.e_idle + 1;
+            if e.Active_list.e_idle > (Active_list.config st.State.active).Active_list.idle_limit
+            then begin
+              (* cold: DRAM -> NVM demotion *)
+              let nvm_page = Ckpt_page.detach_runtime_slot store pages ~pno ~latest:(Some runtime) in
+              Kernel.remap_page kernel pmo ~pno nvm_page;
+              (* back on NVM: resume copy-on-write tracking *)
+              List.iter
+                (fun (pt, vpn) -> Pagetable.protect pt ~vpn)
+                (Kernel.mappings_of_page kernel pmo ~pno);
+              Store.free_dram_page store runtime;
+              e.Active_list.e_dram <- false;
+              Active_list.drop st.State.active e;
+              incr migrated_out
+            end
+          end
+        end)
+    entries
+
+let gc_dead_oroots st ~committed =
+  let kernel = st.State.kernel in
+  let store = Kernel.store kernel in
+  let dead =
+    Hashtbl.fold
+      (fun oid (o : Oroot.t) acc -> if o.Oroot.last_seen_ver < committed then (oid, o) :: acc else acc)
+      st.State.oroots []
+  in
+  List.iter
+    (fun (oid, (o : Oroot.t)) ->
+      (match o.Oroot.pages with
+      | Some pages ->
+        (* The object left the tree before this (now committed) checkpoint,
+           so nothing can roll back to a state containing it any more: free
+           its backup frames and its runtime frames (reachable through the
+           runtime pointer the ORoot keeps). *)
+        let runtime_of pno =
+          match o.Oroot.runtime with
+          | Some (Kobj.Pmo p) -> Radix.get p.Kobj.pmo_radix pno
+          | Some _ | None -> None
+        in
+        Ckpt_page.free_all store pages ~runtime_of
+      | None -> ());
+      Hashtbl.remove st.State.oroots oid)
+    dead
+
+let run st =
+  let kernel = st.State.kernel in
+  let store = Kernel.store kernel in
+  let meta = Store.meta store in
+  let new_ver = Global_meta.version meta + 1 in
+  let t0 = now st in
+  (* step 1: quiesce *)
+  let ipi_ns = Kernel.quiesce kernel in
+  Global_meta.begin_checkpoint meta;
+  (* step 2: leader walks the capability tree *)
+  let walk0 = now st in
+  let per_kind = Hashtbl.create 8 in
+  let objects = ref 0 and fulls = ref 0 and snap_bytes = ref 0 in
+  let protected_before =
+    List.fold_left
+      (fun acc p -> acc + Pagetable.dirty_count (Kernel.pagetable kernel p.Kernel.vms))
+      0 (Kernel.processes kernel)
+  in
+  Kobj.iter_tree ~root:(Kernel.root kernel) (fun obj ->
+      let t_obj0 = now st in
+      let full, bytes = checkpoint_object st obj ~new_ver in
+      let dt = now st - t_obj0 in
+      incr objects;
+      if full then incr fulls;
+      snap_bytes := !snap_bytes + bytes;
+      let kind = Kobj.kind obj in
+      Hashtbl.replace per_kind kind (dt + Option.value ~default:0 (Hashtbl.find_opt per_kind kind));
+      let cost_stats = State.obj_cost st kind in
+      Stats.add (if full then cost_stats.State.full else cost_stats.State.incr) (float_of_int dt));
+  let walk_ns = now st - walk0 in
+  (* step 3: parallel hybrid copy by the other cores *)
+  let dirty_copied = ref 0 and migrated_in = ref 0 and migrated_out = ref 0 in
+  let hybrid_ns =
+    if st.State.features.State.hybrid then begin
+      let cores = max 1 (Kernel.ncores kernel - 1) in
+      let sublists = Active_list.sublists st.State.active ~cores in
+      let worst = ref 0 in
+      Array.iter
+        (fun entries ->
+          let meter = ref 0 in
+          Store.with_sink store (Store.Meter meter) (fun () ->
+              hybrid_sublist st ~new_ver entries (dirty_copied, migrated_in, migrated_out));
+          if !meter > !worst then worst := !meter)
+        sublists;
+      Active_list.compact st.State.active;
+      !worst
+    end
+    else 0
+  in
+  (* the pause lasts until both the leader and the slowest core finish *)
+  if hybrid_ns > walk_ns then Clock.advance (Kernel.clock kernel) (hybrid_ns - walk_ns);
+  (* step 4: atomic commit *)
+  let others0 = now st in
+  Global_meta.commit_checkpoint meta;
+  st.State.ids_hwm <- Id_gen.current (Kernel.ids kernel);
+  gc_dead_oroots st ~committed:new_ver;
+  Store.charge store (Store.cost store).Cost.tlb_shootdown_ns;
+  let others_ns = now st - others0 in
+  (* step 5: resume *)
+  let resume_ns = Kernel.resume_cores kernel in
+  let stw_ns = now st - t0 in
+  (* external synchrony callbacks run after the commit (release replies) *)
+  List.iter (fun cb -> cb ()) st.State.ckpt_callbacks;
+  let report =
+    {
+      Report.version = new_ver;
+      stw_ns;
+      ipi_ns = ipi_ns + resume_ns;
+      captree_ns = walk_ns;
+      others_ns;
+      hybrid_ns;
+      per_kind_ns = Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_kind [];
+      objects_walked = !objects;
+      full_objects = !fulls;
+      pages_protected = protected_before;
+      dram_dirty_copied = !dirty_copied;
+      migrated_in = !migrated_in;
+      migrated_out = !migrated_out;
+      cached_pages = Active_list.cached_count st.State.active;
+      snapshot_bytes = !snap_bytes;
+    }
+  in
+  st.State.last_report <- Some report;
+  report

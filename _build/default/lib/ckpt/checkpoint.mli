@@ -1,0 +1,18 @@
+(** The stop-the-world checkpoint procedure (Figure 5).
+
+    Steps: (1) IPI all cores into quiescence; (2) the leader walks the
+    runtime capability tree and copies every object's state into its ORoot
+    backups — user pages are {e not} copied, dirty ones are re-marked
+    read-only; (3) in parallel, the other cores traverse the active page
+    list performing hybrid copy (stop-and-copy of dirty DRAM pages,
+    NVM/DRAM migrations); (4) the global version number is bumped — the
+    atomic commit point; (5) cores resume; then registered checkpoint
+    callbacks fire (external synchrony, §5) and ORoots of objects that left
+    the tree are garbage-collected.
+
+    Leader work is charged to the simulated clock as it happens; parallel
+    hybrid-copy work is charged to per-core meters and the clock is
+    advanced by any excess of the slowest core over the leader. *)
+
+val run : State.t -> Report.t
+(** Take one whole-system checkpoint and return its measurements. *)

@@ -1,0 +1,93 @@
+module Kernel = Treesls_kernel.Kernel
+module Kobj = Treesls_cap.Kobj
+module Radix = Treesls_cap.Radix
+module Store = Treesls_nvm.Store
+module Global_meta = Treesls_nvm.Global_meta
+module Clock = Treesls_sim.Clock
+
+type t = { st : State.t }
+
+let install_hooks st =
+  let kernel = st.State.kernel in
+  let store = Kernel.store kernel in
+  Kernel.set_cow_hook kernel
+    (Some
+       (fun pmo pno ->
+         (* Step 6 of Figure 5: duplicate the page into its backup before
+            the write proceeds, then track hotness for hybrid copy. *)
+         (if st.State.features.State.copy_on_fault then
+            match Hashtbl.find_opt st.State.oroots pmo.Kobj.pmo_id with
+            | Some oroot -> (
+              match (oroot.Oroot.pages, Radix.get pmo.Kobj.pmo_radix pno) with
+              | Some pages, Some runtime ->
+                let global = Global_meta.version (Store.meta store) in
+                (match Ckpt_page.find pages pno with
+                | Some cp when cp.Ckpt_page.born_ver > global -> ()
+                | Some _ -> ignore (Ckpt_page.cow_backup store pages ~runtime ~pno ~global)
+                | None -> ())
+              | (Some _ | None), _ -> ())
+            | None -> ());
+         if st.State.features.State.hybrid then Active_list.record_fault st.State.active pmo pno));
+  Kernel.set_fresh_hook kernel (Some (fun pmo pno -> State.note_fresh_page st pmo pno))
+
+let attach ?(active_cfg = Active_list.default_config) ?features kernel =
+  let features = match features with Some f -> f | None -> State.default_features () in
+  let st = State.create kernel active_cfg features in
+  install_hooks st;
+  { st }
+
+let state t = t.st
+let kernel t = t.st.State.kernel
+
+let features t = t.st.State.features
+
+let version t = Global_meta.version (Store.meta (Kernel.store (kernel t)))
+
+let checkpoint t = Checkpoint.run t.st
+
+let set_interval t ns =
+  t.st.State.interval_ns <- ns;
+  match ns with
+  | Some n -> t.st.State.next_ckpt_at <- Clock.now (Kernel.clock (kernel t)) + n
+  | None -> ()
+
+let interval t = t.st.State.interval_ns
+
+let tick t =
+  match t.st.State.interval_ns with
+  | None -> None
+  | Some n ->
+    if
+      t.st.State.features.State.ckpt_enabled
+      && Clock.now (Kernel.clock (kernel t)) >= t.st.State.next_ckpt_at
+    then begin
+      let r = Checkpoint.run t.st in
+      t.st.State.next_ckpt_at <- Clock.now (Kernel.clock (kernel t)) + n;
+      Some r
+    end
+    else None
+
+let next_deadline t =
+  match t.st.State.interval_ns with Some _ -> Some t.st.State.next_ckpt_at | None -> None
+
+let on_checkpoint t cb = t.st.State.ckpt_callbacks <- t.st.State.ckpt_callbacks @ [ cb ]
+
+let crash t =
+  State.note_crash t.st;
+  Kernel.crash (kernel t)
+
+let recover t =
+  let report = Restore.run t.st in
+  install_hooks t.st;
+  (match t.st.State.interval_ns with
+  | Some n -> t.st.State.next_ckpt_at <- Clock.now (Kernel.clock (kernel t)) + n
+  | None -> ());
+  report
+
+let checkpoint_bytes t = State.checkpoint_bytes t.st
+let last_report t = t.st.State.last_report
+
+let obj_costs t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.st.State.obj_costs []
+
+let reset_obj_costs t = Hashtbl.reset t.st.State.obj_costs

@@ -1,0 +1,61 @@
+(** The checkpoint manager: policy and lifecycle.
+
+    Owns the {!State}, installs the kernel hooks (copy-on-write backup and
+    fresh-page tracking), drives periodic checkpoints on the simulated
+    clock, and orchestrates crash/recovery.
+
+    Typical use:
+    {[
+      let kernel = Kernel.boot () in
+      let mgr = Manager.attach kernel in
+      Manager.set_interval mgr (Some 1_000_000) (* 1 ms *);
+      (* ... run application work, calling [tick] between operations ... *)
+      Manager.crash mgr;
+      let _report = Manager.recover mgr in
+      let kernel = Manager.kernel mgr in
+      ...
+    ]} *)
+
+module Kernel = Treesls_kernel.Kernel
+
+type t
+
+val attach :
+  ?active_cfg:Active_list.config -> ?features:State.features -> Kernel.t -> t
+(** Install hooks into a freshly booted kernel. *)
+
+val state : t -> State.t
+val kernel : t -> Kernel.t
+val features : t -> State.features
+val version : t -> int
+(** Last committed checkpoint version. *)
+
+val checkpoint : t -> Report.t
+(** Take a checkpoint now. *)
+
+val set_interval : t -> int option -> unit
+(** Periodic checkpointing every [ns] of simulated time ([None] disables).
+    The next checkpoint is scheduled relative to the current clock. *)
+
+val interval : t -> int option
+
+val tick : t -> Report.t option
+(** Take a checkpoint if the deadline passed (call between operations). *)
+
+val next_deadline : t -> int option
+
+val on_checkpoint : t -> (unit -> unit) -> unit
+(** Register a checkpoint callback (external synchrony, §5); volatile —
+    re-register after recovery. *)
+
+val crash : t -> unit
+(** Power failure: captures the crash-time tree, crashes the kernel. *)
+
+val recover : t -> Restore.report
+(** Journal replay + whole-system restore; re-installs hooks on the new
+    kernel. Raises {!Restore.No_checkpoint} if nothing was committed. *)
+
+val checkpoint_bytes : t -> int
+val last_report : t -> Report.t option
+val obj_costs : t -> (Treesls_cap.Kobj.kind * State.obj_cost) list
+val reset_obj_costs : t -> unit

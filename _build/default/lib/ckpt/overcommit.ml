@@ -1,0 +1,39 @@
+module Kernel = Treesls_kernel.Kernel
+module Store = Treesls_nvm.Store
+
+type t = {
+  mgr : Manager.t;
+  low : int;
+  high : int;
+  batch : int;
+  mutable evictions : int;
+  mutable pressure_events : int;
+}
+
+let on_commit t () =
+  let st = Manager.state t.mgr in
+  let kernel = st.State.kernel in
+  let store = Kernel.store kernel in
+  if Store.nvm_pages_free store < t.low then begin
+    t.pressure_events <- t.pressure_events + 1;
+    (* evict batches until pressure relieved or no cold pages remain *)
+    let rec relieve () =
+      if Store.nvm_pages_free store < t.high then begin
+        let n = Kernel.evict_cold kernel ~limit:t.batch in
+        t.evictions <- t.evictions + n;
+        if n > 0 then relieve ()
+      end
+    in
+    relieve ()
+  end
+
+let attach ?(low_watermark = 256) ?(high_watermark = 512) ?(batch = 128) mgr =
+  if high_watermark < low_watermark then invalid_arg "Overcommit.attach: watermarks inverted";
+  let t =
+    { mgr; low = low_watermark; high = high_watermark; batch; evictions = 0; pressure_events = 0 }
+  in
+  Manager.on_checkpoint mgr (on_commit t);
+  t
+
+let evictions t = t.evictions
+let pressure_events t = t.pressure_events

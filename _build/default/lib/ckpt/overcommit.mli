@@ -1,0 +1,24 @@
+(** Memory over-commitment policy (paper §8).
+
+    "To support memory over-commitment, we can add a cold page list to
+    track cold pages and evict them to secondary storage, such as SSDs and
+    disks, when the system is under memory pressure."
+
+    Attaching this policy makes every checkpoint commit check NVM pressure:
+    when free NVM frames drop below the low watermark, cold pages —
+    NVM-resident, clean, read-only in every mapping, i.e. untouched for at
+    least one full checkpoint interval — are swapped out to the SSD in
+    batches until the high watermark is reached (or candidates run out).
+    Swapped pages fault back in transparently on the next access. *)
+
+type t
+
+val attach : ?low_watermark:int -> ?high_watermark:int -> ?batch:int -> Manager.t -> t
+(** Defaults: evict when free NVM frames < 256, aim for 512, at most 128
+    evictions per checkpoint. *)
+
+val evictions : t -> int
+(** Total pages evicted since attachment. *)
+
+val pressure_events : t -> int
+(** Checkpoints at which the low watermark was hit. *)

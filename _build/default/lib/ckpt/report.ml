@@ -1,0 +1,49 @@
+type t = {
+  version : int;
+  stw_ns : int;
+  ipi_ns : int;
+  captree_ns : int;
+  others_ns : int;
+  hybrid_ns : int;
+  per_kind_ns : (Treesls_cap.Kobj.kind * int) list;
+  objects_walked : int;
+  full_objects : int;
+  pages_protected : int;
+  dram_dirty_copied : int;
+  migrated_in : int;
+  migrated_out : int;
+  cached_pages : int;
+  snapshot_bytes : int;
+}
+
+let zero =
+  {
+    version = 0;
+    stw_ns = 0;
+    ipi_ns = 0;
+    captree_ns = 0;
+    others_ns = 0;
+    hybrid_ns = 0;
+    per_kind_ns = [];
+    objects_walked = 0;
+    full_objects = 0;
+    pages_protected = 0;
+    dram_dirty_copied = 0;
+    migrated_in = 0;
+    migrated_out = 0;
+    cached_pages = 0;
+    snapshot_bytes = 0;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "ckpt v%d: stw=%.1fus (ipi=%.1f captree=%.1f others=%.1f | hybrid=%.1f) objs=%d(full %d) \
+     ro=%d sc=%d mig=+%d/-%d cached=%d"
+    t.version
+    (float_of_int t.stw_ns /. 1e3)
+    (float_of_int t.ipi_ns /. 1e3)
+    (float_of_int t.captree_ns /. 1e3)
+    (float_of_int t.others_ns /. 1e3)
+    (float_of_int t.hybrid_ns /. 1e3)
+    t.objects_walked t.full_objects t.pages_protected t.dram_dirty_copied t.migrated_in
+    t.migrated_out t.cached_pages

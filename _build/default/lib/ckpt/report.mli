@@ -1,0 +1,22 @@
+(** Per-checkpoint measurement report (feeds Figures 9-10 and Tables 2-4). *)
+
+type t = {
+  version : int;  (** version this checkpoint committed *)
+  stw_ns : int;  (** total stop-the-world pause *)
+  ipi_ns : int;  (** quiescing + resuming cores *)
+  captree_ns : int;  (** leader: walking/copying the capability tree *)
+  others_ns : int;  (** leader: commit, GC, callbacks, bookkeeping *)
+  hybrid_ns : int;  (** max per-core parallel hybrid-copy time *)
+  per_kind_ns : (Treesls_cap.Kobj.kind * int) list;  (** cap-tree time by type *)
+  objects_walked : int;
+  full_objects : int;  (** objects checkpointed for the first time *)
+  pages_protected : int;  (** dirty pages marked read-only *)
+  dram_dirty_copied : int;  (** dirty DRAM pages stop-and-copied *)
+  migrated_in : int;  (** pages migrated NVM -> DRAM *)
+  migrated_out : int;  (** pages demoted DRAM -> NVM *)
+  cached_pages : int;  (** DRAM-cached pages after this checkpoint *)
+  snapshot_bytes : int;  (** object snapshot bytes written *)
+}
+
+val zero : t
+val pp : Format.formatter -> t -> unit

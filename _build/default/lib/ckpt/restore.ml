@@ -1,0 +1,282 @@
+module Kobj = Treesls_cap.Kobj
+module Radix = Treesls_cap.Radix
+module Kernel = Treesls_kernel.Kernel
+module Store = Treesls_nvm.Store
+module Paddr = Treesls_nvm.Paddr
+module Global_meta = Treesls_nvm.Global_meta
+module Cost = Treesls_sim.Cost
+module Clock = Treesls_sim.Clock
+module Stats = Treesls_util.Stats
+
+exception No_checkpoint
+
+exception
+  Corrupt_backup of {
+    pmo_id : int;
+    pno : int;
+    paddr : Treesls_nvm.Paddr.t;
+  }
+
+type report = {
+  restored_objects : int;
+  dropped_objects : int;
+  pages_restored : int;
+  pages_dropped : int;
+  restore_ns : int;
+  version : int;
+}
+
+(* Crash-time radixes of every PMO reachable in the crashed runtime tree:
+   the restore consults them for "use the runtime page" decisions. *)
+let crashed_radixes crashed_root =
+  let tbl = Hashtbl.create 64 in
+  (match crashed_root with
+  | None -> ()
+  | Some root ->
+    Kobj.iter_tree ~root (fun obj ->
+        match obj with
+        | Kobj.Pmo p -> Hashtbl.replace tbl p.Kobj.pmo_id p.Kobj.pmo_radix
+        | Kobj.Cap_group _ | Kobj.Thread _ | Kobj.Vmspace _ | Kobj.Ipc_conn _
+        | Kobj.Notification _ | Kobj.Irq_notification _ -> ()));
+  tbl
+
+let charge_restore st (snap : Snapshot.t) =
+  let store = Kernel.store st.State.kernel in
+  let c = Store.cost store in
+  let copy = Cost.object_copy_ns c ~to_nvm:false ~bytes_len:(Snapshot.bytes snap) in
+  let extra =
+    match snap with
+    | Snapshot.S_vmspace _ -> c.Cost.alloc_page_ns + (5 * copy)
+    | Snapshot.S_cap_group _ -> c.Cost.alloc_small_ns + (5 * copy)
+    | Snapshot.S_thread _ -> 4 * copy
+    | Snapshot.S_pmo _ | Snapshot.S_ipc _ | Snapshot.S_notif _ | Snapshot.S_irq _ -> copy
+  in
+  Store.charge store (c.Cost.alloc_small_ns + copy + extra)
+
+(* Per-page restore check: read the CP record, compare versions. *)
+let page_check_ns store =
+  let c = Store.cost store in
+  int_of_float (2.0 *. c.Cost.word_copy_nvm_ns)
+
+let run st =
+  let crashed_kernel = st.State.kernel in
+  let store = Kernel.store crashed_kernel in
+  let clock = Store.clock store in
+  let t0 = Clock.now clock in
+  Store.recover store;
+  let g = Global_meta.version (Store.meta store) in
+  if g = 0 then raise No_checkpoint;
+  let radixes = crashed_radixes st.State.crashed_root in
+  (* Integrity pre-pass (paper section 8): verify every sealed backup that
+     the restore would use BEFORE mutating anything, so a detected
+     corruption leaves the store untouched — the caller can repair the
+     frame (e.g. from an eidetic archive) and simply retry. *)
+  Hashtbl.iter
+    (fun oid (oroot : Oroot.t) ->
+      if oroot.Oroot.first_ver <= g then
+        match oroot.Oroot.pages with
+        | None -> ()
+        | Some cps ->
+          let runtime_of pno =
+            match Hashtbl.find_opt radixes oid with
+            | Some radix -> Radix.get radix pno
+            | None -> None
+          in
+          Ckpt_page.iter
+            (fun pno cp ->
+              match Ckpt_page.restore_choice cp ~global:g ~runtime:(runtime_of pno) with
+              | `Use keep when not (Store.verify_page store keep) ->
+                raise (Corrupt_backup { pmo_id = oid; pno; paddr = keep })
+              | `Use _ | `Drop -> ())
+            cps)
+    st.State.oroots;
+  (* PMO ids known to the checkpoint manager before any rollback: pages of
+     any other PMO found in the crashed tree are in-flight allocations. *)
+  let known_pmos = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun oid (o : Oroot.t) -> if o.Oroot.kind = Kobj.Pmo_k then Hashtbl.replace known_pmos oid ())
+    st.State.oroots;
+  (* Select the objects that belong to checkpoint [g]; mutating a table
+     during iteration is undefined, so removals are collected first. *)
+  let live = ref [] and dropped = ref 0 and to_drop = ref [] in
+  Hashtbl.iter
+    (fun oid (oroot : Oroot.t) ->
+      if oroot.Oroot.first_ver > g then begin
+        (* Born inside an uncommitted checkpoint: roll back. *)
+        incr dropped;
+        (match oroot.Oroot.pages with
+        | Some pages ->
+          let runtime_of pno =
+            match Hashtbl.find_opt radixes oid with
+            | Some radix -> Radix.get radix pno
+            | None -> None
+          in
+          Ckpt_page.free_all store pages ~runtime_of
+        | None -> ());
+        to_drop := oid :: !to_drop
+      end
+      else
+        match Oroot.latest_le oroot ~version:g with
+        | Some (_, snap) -> live := (oid, oroot, snap) :: !live
+        | None ->
+          incr dropped;
+          to_drop := oid :: !to_drop)
+    st.State.oroots;
+  List.iter (Hashtbl.remove st.State.oroots) !to_drop;
+  (* Phase 1: materialise bare objects with their original ids. *)
+  let stubs : (int, Kobj.t) Hashtbl.t = Hashtbl.create 256 in
+  let pages_restored = ref 0 and pages_dropped = ref 0 in
+  (* Roll back page allocations of PMOs the checkpoint never saw (created
+     after the last commit): the paper's comparison of the crash-time
+     state against the checkpoint's state (§3, step 7). *)
+  Hashtbl.iter
+    (fun pmo_id radix ->
+      if not (Hashtbl.mem known_pmos pmo_id) then
+        Radix.iter
+          (fun _ paddr ->
+            if Paddr.is_nvm paddr then begin
+              Store.free_page store paddr;
+              incr pages_dropped
+            end
+            else if Paddr.is_ssd paddr then begin
+              Store.free_ssd_page store paddr;
+              incr pages_dropped
+            end)
+          radix)
+    radixes;
+  List.iter
+    (fun (oid, (oroot : Oroot.t), snap) ->
+      let t_obj = Clock.now clock in
+      charge_restore st snap;
+      let obj =
+        match snap with
+        | Snapshot.S_cap_group { name; _ } -> Kobj.Cap_group (Kobj.make_cap_group ~id:oid ~name)
+        | Snapshot.S_thread { regs; state; prio; cursor } ->
+          let th = Kobj.make_thread ~id:oid ~prio in
+          th.Kobj.th_regs <- Array.copy regs;
+          th.Kobj.th_state <- state;
+          th.Kobj.th_cursor <- cursor;
+          Kobj.Thread th
+        | Snapshot.S_vmspace _ -> Kobj.Vmspace (Kobj.make_vmspace ~id:oid)
+        | Snapshot.S_pmo { pages; kind; eternal_frames } -> (
+          let pmo = Kobj.make_pmo ~id:oid ~pages ~kind in
+          match kind with
+          | Kobj.Pmo_eternal ->
+            (* Eternal: revive the fixed frame set; content untouched. *)
+            List.iter (fun (pno, paddr) -> Radix.set pmo.Kobj.pmo_radix pno paddr) eternal_frames;
+            Kobj.Pmo pmo
+          | Kobj.Pmo_normal ->
+            let cps = Oroot.pages_exn oroot in
+            let runtime_of pno =
+              match Hashtbl.find_opt radixes oid with
+              | Some radix -> Radix.get radix pno
+              | None -> None
+            in
+            let to_remove = ref [] in
+            Ckpt_page.iter
+              (fun pno cp ->
+                Store.charge store (page_check_ns store);
+                let runtime = runtime_of pno in
+                match Ckpt_page.restore_choice cp ~global:g ~runtime with
+                | `Use keep ->
+                  Radix.set pmo.Kobj.pmo_radix pno keep;
+                  Ckpt_page.normalize_after_restore store cp ~keep ~runtime;
+                  incr pages_restored
+                | `Drop ->
+                  incr pages_dropped;
+                  (match runtime with
+                  | Some p when Paddr.is_nvm p -> Store.free_page store p
+                  | Some p when Paddr.is_ssd p -> Store.free_ssd_page store p
+                  | Some _ | None -> ());
+                  (match cp.Ckpt_page.b1 with
+                  | Some p when Paddr.is_nvm p -> Store.free_page store p
+                  | Some _ | None -> ());
+                  (match cp.Ckpt_page.b2 with
+                  | Some p when Paddr.is_nvm p -> Store.free_page store p
+                  | Some _ | None -> ());
+                  to_remove := pno :: !to_remove)
+              cps;
+            List.iter (fun pno -> Ckpt_page.remove cps ~pno) !to_remove;
+            (* Runtime pages allocated after the last walk have no CP
+               record at all: roll their frames back too. *)
+            (match Hashtbl.find_opt radixes oid with
+            | Some radix ->
+              Radix.iter
+                (fun pno p ->
+                  if Ckpt_page.find cps pno = None && Paddr.is_nvm p then begin
+                    Store.free_page store p;
+                    incr pages_dropped
+                  end)
+                radix
+            | None -> ());
+            Kobj.Pmo pmo)
+        | Snapshot.S_ipc { calls; _ } ->
+          let c = Kobj.make_ipc_conn ~id:oid in
+          c.Kobj.ic_calls <- calls;
+          Kobj.Ipc_conn c
+        | Snapshot.S_notif { count; waiters } ->
+          let n = Kobj.make_notification ~id:oid in
+          n.Kobj.nt_count <- count;
+          n.Kobj.nt_waiters <- waiters;
+          Kobj.Notification n
+        | Snapshot.S_irq { line; pending } ->
+          let irq = Kobj.make_irq_notification ~id:oid ~line in
+          irq.Kobj.irq_pending <- pending;
+          Kobj.Irq_notification irq
+      in
+      Hashtbl.replace stubs oid obj;
+      let dt = Clock.now clock - t_obj in
+      Stats.add (State.obj_cost st (Kobj.kind obj)).State.restore (float_of_int dt))
+    !live;
+  (* Phase 2: stitch references by object id. *)
+  let find_stub oid = Hashtbl.find_opt stubs oid in
+  List.iter
+    (fun (oid, _oroot, snap) ->
+      match (snap, find_stub oid) with
+      | Snapshot.S_cap_group { slots; _ }, Some (Kobj.Cap_group cg) ->
+        List.iter
+          (fun (slot, target_id, rights) ->
+            match find_stub target_id with
+            | Some target -> Kobj.install_at cg slot { Kobj.target; rights }
+            | None -> () (* referent dropped (born after g): dangling cap removed *))
+          slots
+      | Snapshot.S_vmspace { regions }, Some (Kobj.Vmspace vs) ->
+        vs.Kobj.vs_regions <-
+          List.filter_map
+            (fun (vpn, pages, pmo_id, writable) ->
+              match find_stub pmo_id with
+              | Some (Kobj.Pmo pmo) ->
+                Some { Kobj.vr_vpn = vpn; vr_pages = pages; vr_pmo = pmo; vr_writable = writable }
+              | Some _ | None -> None)
+            regions
+      | Snapshot.S_ipc { server_tid; shared_pmo; _ }, Some (Kobj.Ipc_conn conn) ->
+        (match Option.map find_stub server_tid with
+        | Some (Some (Kobj.Thread th)) -> conn.Kobj.ic_server <- Some th
+        | Some _ | None -> ());
+        (match Option.map find_stub shared_pmo with
+        | Some (Some (Kobj.Pmo p)) -> conn.Kobj.ic_shared <- Some p
+        | Some _ | None -> ())
+      | (Snapshot.S_thread _ | Snapshot.S_pmo _ | Snapshot.S_notif _ | Snapshot.S_irq _), _ -> ()
+      | _, _ -> ())
+    !live;
+  (* Adopt the restored tree. *)
+  let root =
+    match find_stub st.State.root_id with
+    | Some (Kobj.Cap_group cg) -> cg
+    | Some _ | None -> failwith "Restore: root cap group missing from checkpoint"
+  in
+  let kernel =
+    Kernel.rebuild ~store ~ncores:(Kernel.ncores crashed_kernel) ~root ~ids_hwm:st.State.ids_hwm
+  in
+  st.State.kernel <- kernel;
+  st.State.crashed_root <- None;
+  Active_list.clear st.State.active;
+  Hashtbl.reset st.State.pending_fresh;
+  {
+    restored_objects = List.length !live;
+    dropped_objects = !dropped;
+    pages_restored = !pages_restored;
+    pages_dropped = !pages_dropped;
+    restore_ns = Clock.now clock - t0;
+    version = g;
+  }

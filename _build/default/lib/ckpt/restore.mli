@@ -1,0 +1,37 @@
+(** Whole-system restore (step 7 of Figure 5).
+
+    Entry point after a power failure: replays the allocator journal,
+    rolls in-flight page allocations back, revives the backup capability
+    tree at the last committed version into a fresh runtime tree (object
+    ids preserved), rebuilds derived state (scheduler queue, empty page
+    tables) and returns the recovered kernel.
+
+    Eternal PMOs are revived with their crash-time page frames — their
+    content is deliberately {e not} rolled back (§5). *)
+
+exception No_checkpoint
+(** Raised when no checkpoint was ever committed. *)
+
+exception
+  Corrupt_backup of {
+    pmo_id : int;
+    pno : int;
+    paddr : Treesls_nvm.Paddr.t;
+  }
+(** Data reliability (paper §8): the page chosen for restore is a sealed
+    backup whose checksum no longer matches — NVM media corruption.
+    The caller can repair the frame from an {!Eidetic} archive (rewrite
+    the content and re-seal) and retry, or fall back to an older archived
+    version. *)
+
+type report = {
+  restored_objects : int;
+  dropped_objects : int;  (** objects born after the restored version *)
+  pages_restored : int;
+  pages_dropped : int;  (** page frames rolled back and freed *)
+  restore_ns : int;  (** simulated time the whole restore took *)
+  version : int;  (** the version the system was rolled back to *)
+}
+
+val run : State.t -> report
+(** Recover; on success [State.kernel] is the new runtime kernel. *)

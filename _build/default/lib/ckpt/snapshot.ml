@@ -1,0 +1,83 @@
+module Kobj = Treesls_cap.Kobj
+module Radix = Treesls_cap.Radix
+
+type t =
+  | S_cap_group of { name : string; slots : (int * int * Treesls_cap.Rights.t) list }
+  | S_thread of { regs : int array; state : Kobj.thread_state; prio : int; cursor : int }
+  | S_vmspace of { regions : (int * int * int * bool) list }
+  | S_pmo of {
+      pages : int;
+      kind : Kobj.pmo_kind;
+      eternal_frames : (int * Treesls_nvm.Paddr.t) list;
+    }
+  | S_ipc of { server_tid : int option; shared_pmo : int option; calls : int }
+  | S_notif of { count : int; waiters : int list }
+  | S_irq of { line : int; pending : int }
+
+let take obj =
+  match obj with
+  | Kobj.Cap_group g ->
+    let slots = ref [] in
+    Kobj.iter_caps
+      (fun slot c -> slots := (slot, Kobj.id c.Kobj.target, c.Kobj.rights) :: !slots)
+      g;
+    S_cap_group { name = g.Kobj.cg_name; slots = List.rev !slots }
+  | Kobj.Thread th ->
+    S_thread
+      {
+        regs = Array.copy th.Kobj.th_regs;
+        state = th.Kobj.th_state;
+        prio = th.Kobj.th_prio;
+        cursor = th.Kobj.th_cursor;
+      }
+  | Kobj.Vmspace vs ->
+    S_vmspace
+      {
+        regions =
+          List.map
+            (fun r ->
+              (r.Kobj.vr_vpn, r.Kobj.vr_pages, r.Kobj.vr_pmo.Kobj.pmo_id, r.Kobj.vr_writable))
+            vs.Kobj.vs_regions;
+      }
+  | Kobj.Pmo p ->
+    let eternal_frames =
+      match p.Kobj.pmo_kind with
+      | Kobj.Pmo_normal -> []
+      | Kobj.Pmo_eternal -> List.rev (Radix.fold (fun k v acc -> (k, v) :: acc) p.Kobj.pmo_radix [])
+    in
+    S_pmo { pages = p.Kobj.pmo_pages; kind = p.Kobj.pmo_kind; eternal_frames }
+  | Kobj.Ipc_conn c ->
+    S_ipc
+      {
+        server_tid = Option.map (fun th -> th.Kobj.th_id) c.Kobj.ic_server;
+        shared_pmo = Option.map (fun p -> p.Kobj.pmo_id) c.Kobj.ic_shared;
+        calls = c.Kobj.ic_calls;
+      }
+  | Kobj.Notification n ->
+    S_notif { count = n.Kobj.nt_count; waiters = n.Kobj.nt_waiters }
+  | Kobj.Irq_notification i -> S_irq { line = i.Kobj.irq_line; pending = i.Kobj.irq_pending }
+
+let bytes = function
+  | S_cap_group s -> 64 + (16 * List.length s.slots)
+  | S_thread _ -> 64 + (8 * Kobj.regs_count)
+  | S_vmspace s -> 48 + (40 * List.length s.regions)
+  | S_pmo s -> 64 + (16 * List.length s.eternal_frames)
+  | S_ipc _ -> 64
+  | S_notif s -> 48 + (8 * List.length s.waiters)
+  | S_irq _ -> 48
+
+let kind = function
+  | S_cap_group _ -> Kobj.Cap_group_k
+  | S_thread _ -> Kobj.Thread_k
+  | S_vmspace _ -> Kobj.Vmspace_k
+  | S_pmo _ -> Kobj.Pmo_k
+  | S_ipc _ -> Kobj.Ipc_conn_k
+  | S_notif _ -> Kobj.Notification_k
+  | S_irq _ -> Kobj.Irq_k
+
+let references = function
+  | S_cap_group s -> List.map (fun (_, id, _) -> id) s.slots
+  | S_vmspace s -> List.map (fun (_, _, id, _) -> id) s.regions
+  | S_ipc s ->
+    List.filter_map Fun.id [ s.server_tid; s.shared_pmo ]
+  | S_thread _ | S_pmo _ | S_notif _ | S_irq _ -> []

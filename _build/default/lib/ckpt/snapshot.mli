@@ -1,0 +1,40 @@
+(** Backup representations of capability-tree objects.
+
+    A snapshot is the checkpointed image of one object's own state, with
+    references to other objects flattened to object ids (the backup tree is
+    stitched back together by id during restore).  PMO page contents are
+    not part of the snapshot: they are handled by the versioned
+    checkpointed-page machinery ({!Ckpt_page}). *)
+
+module Kobj = Treesls_cap.Kobj
+
+type t =
+  | S_cap_group of {
+      name : string;
+      slots : (int * int * Treesls_cap.Rights.t) list;  (** slot, target id, rights *)
+    }
+  | S_thread of { regs : int array; state : Kobj.thread_state; prio : int; cursor : int }
+  | S_vmspace of {
+      regions : (int * int * int * bool) list;  (** vpn, pages, pmo id, writable *)
+    }
+  | S_pmo of {
+      pages : int;
+      kind : Kobj.pmo_kind;
+      eternal_frames : (int * Treesls_nvm.Paddr.t) list;
+          (** for eternal PMOs only: the fixed page set, preserved verbatim
+              across restore *)
+    }
+  | S_ipc of { server_tid : int option; shared_pmo : int option; calls : int }
+  | S_notif of { count : int; waiters : int list }
+  | S_irq of { line : int; pending : int }
+
+val take : Kobj.t -> t
+(** Capture the object's current state (no cost accounting here). *)
+
+val bytes : t -> int
+(** Approximate NVM bytes this snapshot occupies. *)
+
+val kind : t -> Kobj.kind
+
+val references : t -> int list
+(** Ids of objects this snapshot points to (children in the backup tree). *)

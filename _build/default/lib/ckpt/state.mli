@@ -1,0 +1,64 @@
+(** Shared state of the checkpoint manager.
+
+    Split between NVM-resident state that survives a crash (ORoots with
+    their backup snapshots and page tables, the committed id high-water
+    mark, the root cap group id) and volatile state that is rebuilt after
+    recovery (the active page list, pending fresh-page notes, registered
+    callbacks). *)
+
+module Kobj = Treesls_cap.Kobj
+module Kernel = Treesls_kernel.Kernel
+
+type features = {
+  mutable ckpt_enabled : bool;  (** take checkpoints at all *)
+  mutable track_dirty : bool;  (** mark dirty pages read-only at checkpoint *)
+  mutable copy_on_fault : bool;  (** copy the pre-image in the fault handler *)
+  mutable hybrid : bool;  (** hybrid copy: hot-page DRAM cache + stop-and-copy *)
+}
+
+type obj_cost = {
+  full : Treesls_util.Stats.t;  (** per-object full checkpoint ns *)
+  incr : Treesls_util.Stats.t;  (** per-object incremental checkpoint ns *)
+  restore : Treesls_util.Stats.t;  (** per-object restore ns *)
+}
+
+type t = {
+  mutable kernel : Kernel.t;
+  oroots : (int, Oroot.t) Hashtbl.t;  (** NVM: object id -> ORoot *)
+  active : Active_list.t;  (** volatile *)
+  mutable root_id : int;  (** NVM: object id of the root cap group *)
+  mutable ids_hwm : int;  (** NVM: id counter at the last committed checkpoint *)
+  features : features;
+  pending_fresh : (int, (Kobj.pmo * int list) ref) Hashtbl.t;
+      (** volatile: pmo id -> pages added since the last checkpoint walk *)
+  obj_costs : (Kobj.kind, obj_cost) Hashtbl.t;  (** measurement collectors *)
+  mutable ckpt_callbacks : (unit -> unit) list;  (** volatile; §5 *)
+  mutable page_archive_hook : (Kobj.pmo -> int -> Treesls_nvm.Paddr.t -> unit) option;
+      (** eidetic extension (§8): invoked during the STW pause for every
+          page whose content belongs to the committing version — dirty
+          pages being re-protected, stop-and-copied DRAM pages, and every
+          page of a first-time (full) PMO checkpoint *)
+  mutable crashed_root : Kobj.cap_group option;
+      (** set by {!note_crash}: the crash-time runtime tree, whose NVM page
+          pointers the restore consults *)
+  mutable interval_ns : int option;
+  mutable next_ckpt_at : int;
+  mutable last_report : Report.t option;
+}
+
+val default_features : unit -> features
+val create : Kernel.t -> Active_list.config -> features -> t
+
+val oroot_for : t -> Kobj.t -> version:int -> Oroot.t * bool
+(** The object's ORoot, creating it if absent; the flag is [true] when this
+    is the object's first checkpoint (full checkpoint). *)
+
+val note_fresh_page : t -> Kobj.pmo -> int -> unit
+val drain_fresh : t -> Kobj.pmo -> int list
+val obj_cost : t -> Kobj.kind -> obj_cost
+
+val note_crash : t -> unit
+(** Capture the crash-time runtime tree and drop volatile state. *)
+
+val checkpoint_bytes : t -> int
+(** Current checkpoint footprint: snapshot bytes + backup page frames. *)

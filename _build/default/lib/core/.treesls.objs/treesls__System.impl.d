@@ -1,0 +1,1 @@
+lib/core/system.ml: List Option Treesls_ckpt Treesls_kernel Treesls_sim

@@ -1,0 +1,1 @@
+lib/core/system.mli: Treesls_ckpt Treesls_kernel Treesls_nvm Treesls_sim

@@ -1,0 +1,55 @@
+module Kernel = Treesls_kernel.Kernel
+module Manager = Treesls_ckpt.Manager
+module Report = Treesls_ckpt.Report
+module Restore = Treesls_ckpt.Restore
+module Clock = Treesls_sim.Clock
+
+type t = { mgr : Manager.t; mutable services : (string * (t -> unit)) list }
+
+let boot ?cost ?ncores ?nvm_pages ?dram_pages ?interval_us ?features ?active_cfg () =
+  let kernel = Kernel.boot ?cost ?ncores ?nvm_pages ?dram_pages () in
+  let mgr = Manager.attach ?active_cfg ?features kernel in
+  (match interval_us with Some us -> Manager.set_interval mgr (Some (us * 1000)) | None -> ());
+  { mgr; services = [] }
+
+let kernel t = Manager.kernel t.mgr
+let manager t = t.mgr
+let clock t = Kernel.clock (kernel t)
+let now_ns t = Clock.now (clock t)
+let store t = Kernel.store (kernel t)
+let checkpoint t = Manager.checkpoint t.mgr
+let tick t = Manager.tick t.mgr
+
+let set_interval_us t us = Manager.set_interval t.mgr (Option.map (fun u -> u * 1000) us)
+let version t = Manager.version t.mgr
+
+let advance_us t us =
+  let target = now_ns t + (us * 1000) in
+  let rec loop () =
+    if now_ns t < target then begin
+      (match Manager.next_deadline t.mgr with
+      | Some d when d <= target ->
+        if now_ns t < d then Clock.advance (clock t) (d - now_ns t);
+        ignore (Manager.tick t.mgr)
+      | Some _ | None -> Clock.advance (clock t) (target - now_ns t));
+      loop ()
+    end
+  in
+  loop ()
+
+let add_service t ~name ~setup =
+  t.services <- t.services @ [ (name, setup) ];
+  setup t
+
+let crash t = Manager.crash t.mgr
+
+let recover t =
+  let report = Manager.recover t.mgr in
+  List.iter (fun (_, setup) -> setup t) t.services;
+  report
+
+let crash_and_recover t =
+  crash t;
+  recover t
+
+let stats t = Kernel.stats (kernel t)

@@ -1,0 +1,69 @@
+(** TreeSLS: the whole-system persistent microkernel, assembled.
+
+    This is the library's main entry point.  A {!t} is a booted machine:
+    simulated NVM + DRAM, the microkernel with its standard user-space
+    services, and the checkpoint manager attached.  Applications are
+    created through {!Treesls_kernel.Kernel} using {!kernel}, and drive
+    checkpoints by calling {!tick} between operations (or {!checkpoint}
+    explicitly).
+
+    Power failures are injected with {!crash} and survived with {!recover}:
+    after recovery the system is rolled back to the last committed
+    checkpoint, and every service registered with {!add_service} has had
+    its setup function re-run (re-registering volatile IPC handlers and
+    external-synchrony callbacks, the way real driver code re-initialises
+    itself at reboot). *)
+
+module Kernel = Treesls_kernel.Kernel
+module Manager = Treesls_ckpt.Manager
+module Report = Treesls_ckpt.Report
+module Restore = Treesls_ckpt.Restore
+
+type t
+
+val boot :
+  ?cost:Treesls_sim.Cost.t ->
+  ?ncores:int ->
+  ?nvm_pages:int ->
+  ?dram_pages:int ->
+  ?interval_us:int ->
+  ?features:Treesls_ckpt.State.features ->
+  ?active_cfg:Treesls_ckpt.Active_list.config ->
+  unit ->
+  t
+(** Boot. [interval_us] enables periodic checkpointing (e.g. 1000 for the
+    paper's 1 ms / 1000 Hz configuration). *)
+
+val kernel : t -> Kernel.t
+(** The current runtime kernel ({b re-fetch after every recover}). *)
+
+val manager : t -> Manager.t
+val clock : t -> Treesls_sim.Clock.t
+val now_ns : t -> int
+val store : t -> Treesls_nvm.Store.t
+
+val checkpoint : t -> Report.t
+val tick : t -> Report.t option
+(** Checkpoint if the periodic deadline has passed. *)
+
+val set_interval_us : t -> int option -> unit
+val version : t -> int
+
+val advance_us : t -> int -> unit
+(** Let simulated time pass (idle work), taking periodic checkpoints. *)
+
+val add_service : t -> name:string -> setup:(t -> unit) -> unit
+(** Register a service setup function: runs immediately and again after
+    every {!recover} (services' code survives crashes; their volatile
+    registrations do not). *)
+
+val crash : t -> unit
+(** Power failure at the current instant. *)
+
+val recover : t -> Restore.report
+(** Journal replay, whole-system restore, service re-setup. *)
+
+val crash_and_recover : t -> Restore.report
+
+val stats : t -> Kernel.stats
+(** Kernel counters (faults, syscalls) of the current kernel. *)

@@ -1,0 +1,1 @@
+lib/extsync/net_server.ml: Bytes Int64 Ring Treesls_ckpt Treesls_kernel Treesls_sim

@@ -1,0 +1,1 @@
+lib/extsync/net_server.mli: Bytes Treesls_ckpt Treesls_kernel

@@ -1,0 +1,1 @@
+lib/extsync/ring.ml: Bytes Int Int32 Int64 List Treesls_cap Treesls_kernel Treesls_sim

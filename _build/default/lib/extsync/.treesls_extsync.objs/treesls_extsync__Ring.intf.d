@@ -1,0 +1,1 @@
+lib/extsync/ring.mli: Bytes Treesls_kernel

@@ -1,0 +1,54 @@
+(** Machine-local network service with transparent external synchrony.
+
+    Mirrors the paper's modified network server (§5-§6): applications hand
+    it responses to send; the server parks them in a persistent ring and
+    only releases them to clients when the next checkpoint commits, so no
+    client ever observes state that could be rolled back.  After a crash,
+    unpublished responses are discarded — the rolled-back application will
+    regenerate them — while published ones are never re-sent twice thanks
+    to the non-rolled-back reader cursor. *)
+
+module Kernel = Treesls_kernel.Kernel
+module Manager = Treesls_ckpt.Manager
+
+type t
+
+type deliver = client:int -> sent_ns:int -> payload:Bytes.t -> unit
+(** Invoked at checkpoint commit for each newly visible response;
+    [sent_ns] is when the application produced it (for latency
+    accounting). *)
+
+val create :
+  ?slots:int ->
+  ?slot_size:int ->
+  Kernel.t ->
+  Manager.t ->
+  proc:Kernel.process ->
+  deliver:deliver ->
+  t
+(** Create the ring (eternal PMO owned by [proc], normally the network
+    driver process) and register the checkpoint callback. *)
+
+val reattach :
+  ?slots:int ->
+  ?slot_size:int ->
+  Kernel.t ->
+  Manager.t ->
+  proc:Kernel.process ->
+  deliver:deliver ->
+  t
+(** Recovery path: re-find the ring, run the restore callback (discard
+    unpublished responses), re-register the checkpoint callback. *)
+
+val send : t -> client:int -> Bytes.t -> bool
+(** Queue a response; it becomes visible at the next checkpoint. [false]
+    when the ring is full (client should back off). *)
+
+val pending : t -> int
+(** Responses waiting for the next checkpoint. *)
+
+val delivered : t -> int
+(** Total responses released to clients since (re)attachment. *)
+
+val flush_visible : t -> unit
+(** Deliver any already-visible messages (used after reattach). *)

@@ -1,0 +1,123 @@
+module Kernel = Treesls_kernel.Kernel
+module Kobj = Treesls_cap.Kobj
+module Cost = Treesls_sim.Cost
+
+type t = {
+  kernel : Kernel.t;
+  proc : Kernel.process;
+  base : int; (* first vaddr of the mapping *)
+  slots : int;
+  slot_size : int;
+  pmo_id : int;
+}
+
+
+
+let pages_needed kernel ~slots ~slot_size =
+  let psz = (Kernel.cost kernel).Cost.page_size in
+  1 + (((slots * slot_size) + psz - 1) / psz)
+
+let int_to_bytes v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  b
+
+let read_cursor t off =
+  let b = Kernel.read_bytes t.kernel t.proc ~vaddr:(t.base + off) ~len:8 in
+  Int64.to_int (Bytes.get_int64_le b 0)
+
+let write_cursor t off v =
+  Kernel.write_bytes t.kernel t.proc ~vaddr:(t.base + off) (int_to_bytes v)
+
+let reader t = read_cursor t 0
+let writer t = read_cursor t 8
+let visible t = read_cursor t 16
+
+let psz t = (Kernel.cost t.kernel).Cost.page_size
+
+let slot_vaddr t i =
+  t.base + psz t + (i mod t.slots * t.slot_size)
+
+let create kernel proc ~name:_ ~slots ~slot_size =
+  assert (slot_size > 4 && slots > 0);
+  let pages = pages_needed kernel ~slots ~slot_size in
+  let pmo = Kernel.make_eternal_pmo kernel ~pages in
+  let vpn = Kernel.map_shared kernel proc pmo ~writable:true in
+  let t =
+    { kernel; proc; base = vpn * (Kernel.cost kernel).Cost.page_size; slots; slot_size; pmo_id = pmo.Kobj.pmo_id }
+  in
+  write_cursor t 0 0;
+  write_cursor t 8 0;
+  write_cursor t 16 0;
+  t
+
+(* Find the nth eternal PMO under the root. Rings are created in a fixed
+   order at service setup, so creation order identifies them; a production
+   system would use a name registry — creation order is equivalent here. *)
+let eternal_pmos kernel =
+  let acc = ref [] in
+  Kobj.iter_tree ~root:(Kernel.root kernel) (fun obj ->
+      match obj with
+      | Kobj.Pmo p when p.Kobj.pmo_kind = Kobj.Pmo_eternal -> acc := p :: !acc
+      | Kobj.Pmo _ | Kobj.Cap_group _ | Kobj.Thread _ | Kobj.Vmspace _ | Kobj.Ipc_conn _
+      | Kobj.Notification _ | Kobj.Irq_notification _ -> ());
+  List.sort (fun a b -> Int.compare a.Kobj.pmo_id b.Kobj.pmo_id) !acc
+
+let reattach kernel proc ~name:_ ~slots ~slot_size =
+  let pages = pages_needed kernel ~slots ~slot_size in
+  let pmo =
+    match List.find_opt (fun p -> p.Kobj.pmo_pages = pages) (eternal_pmos kernel) with
+    | Some p -> p
+    | None -> invalid_arg "Ring.reattach: eternal PMO not found"
+  in
+  (* The restored VM space usually still maps the ring; reuse that region
+     rather than mapping it twice. *)
+  let existing =
+    List.find_opt
+      (fun r -> r.Kobj.vr_pmo.Kobj.pmo_id = pmo.Kobj.pmo_id)
+      proc.Kernel.vms.Kobj.vs_regions
+  in
+  let vpn =
+    match existing with
+    | Some r -> r.Kobj.vr_vpn
+    | None -> Kernel.map_shared kernel proc pmo ~writable:true
+  in
+  { kernel; proc; base = vpn * (Kernel.cost kernel).Cost.page_size; slots; slot_size; pmo_id = pmo.Kobj.pmo_id }
+
+let append t msg =
+  let len = Bytes.length msg in
+  if len > t.slot_size - 4 then invalid_arg "Ring.append: message too large";
+  let w = writer t and r = reader t in
+  if w - r >= t.slots then false
+  else begin
+    let va = slot_vaddr t w in
+    let hdr = Bytes.create 4 in
+    Bytes.set_int32_le hdr 0 (Int32.of_int len);
+    Kernel.write_bytes t.kernel t.proc ~vaddr:va hdr;
+    Kernel.write_bytes t.kernel t.proc ~vaddr:(va + 4) msg;
+    write_cursor t 8 (w + 1);
+    true
+  end
+
+let on_checkpoint t = write_cursor t 16 (writer t)
+
+let on_restore t =
+  (* Messages beyond the visible cursor were never exposed: the rolled-back
+     application will re-produce them. *)
+  write_cursor t 8 (visible t)
+
+let pop_visible t =
+  let r = reader t in
+  if r >= visible t then None
+  else begin
+    let va = slot_vaddr t r in
+    let hdr = Kernel.read_bytes t.kernel t.proc ~vaddr:va ~len:4 in
+    let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+    let msg = Kernel.read_bytes t.kernel t.proc ~vaddr:(va + 4) ~len in
+    write_cursor t 0 (r + 1);
+    Some msg
+  end
+
+let visible_count t = visible t - reader t
+let unpublished_count t = writer t - visible t
+let capacity t = t.slots

@@ -1,0 +1,48 @@
+(** Persistent ring buffer with delayed external visibility (Figure 8).
+
+    The buffer and its three cursors — [reader], [writer], and
+    [visible_writer] — live in an {e eternal} PMO, so they survive power
+    failures and are {e not} rolled back by recovery.  A message appended
+    by the driver is not externally visible until the next checkpoint
+    commits and the checkpoint callback advances [visible_writer] over it;
+    the restore callback discards messages beyond [visible_writer] (their
+    senders were rolled back and will re-send).
+
+    Layout: page 0 holds the cursors; subsequent pages hold fixed-size
+    slots. All accesses go through kernel memory paths of the owning
+    process, so they fault, charge simulated time and persist like any
+    other application data. *)
+
+module Kernel = Treesls_kernel.Kernel
+
+type t
+
+val create : Kernel.t -> Kernel.process -> name:string -> slots:int -> slot_size:int -> t
+(** Allocate an eternal PMO sized for [slots] messages of at most
+    [slot_size-4] bytes each and map it into the process. *)
+
+val reattach : Kernel.t -> Kernel.process -> name:string -> slots:int -> slot_size:int -> t
+(** After recovery: locate the eternal PMO by creation order under the new
+    kernel's root and re-derive cursors from its (preserved) content.
+    [name], [slots] and [slot_size] must match {!create}. *)
+
+val append : t -> Bytes.t -> bool
+(** Enqueue a message (not yet visible); [false] when the ring is full. *)
+
+val on_checkpoint : t -> unit
+(** Checkpoint callback: publish everything appended so far. *)
+
+val on_restore : t -> unit
+(** Restore callback: drop unpublished messages ([writer] back to
+    [visible_writer]). *)
+
+val pop_visible : t -> Bytes.t option
+(** Consume the next published message. *)
+
+val visible_count : t -> int
+(** Published, not yet consumed. *)
+
+val unpublished_count : t -> int
+(** Appended after the last checkpoint (invisible; lost on restore). *)
+
+val capacity : t -> int

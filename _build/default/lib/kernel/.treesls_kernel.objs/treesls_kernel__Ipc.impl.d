@@ -1,0 +1,1 @@
+lib/kernel/ipc.ml: Bytes Hashtbl Kernel List Sched Treesls_cap Treesls_sim

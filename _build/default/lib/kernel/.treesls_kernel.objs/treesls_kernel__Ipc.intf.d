@@ -1,0 +1,1 @@
+lib/kernel/ipc.mli: Bytes Kernel Treesls_cap

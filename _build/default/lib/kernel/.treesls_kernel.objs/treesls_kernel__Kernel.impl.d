@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Bytes Hashtbl List Pagetable Printf Sched Treesls_cap Treesls_nvm Treesls_sim

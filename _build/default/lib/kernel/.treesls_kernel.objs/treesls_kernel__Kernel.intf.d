@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Bytes Hashtbl Pagetable Sched Treesls_cap Treesls_nvm Treesls_sim

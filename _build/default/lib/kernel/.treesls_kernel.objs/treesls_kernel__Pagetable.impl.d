@@ -1,0 +1,1 @@
+lib/kernel/pagetable.ml: Hashtbl List Treesls_nvm

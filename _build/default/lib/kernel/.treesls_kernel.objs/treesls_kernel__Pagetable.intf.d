@@ -1,0 +1,1 @@
+lib/kernel/pagetable.mli: Treesls_nvm

@@ -1,0 +1,1 @@
+lib/kernel/sched.ml: Queue Treesls_cap

@@ -1,0 +1,68 @@
+type pte = { mutable paddr : Treesls_nvm.Paddr.t; mutable writable : bool; mutable dirty : bool }
+
+type t = { entries : (int, pte) Hashtbl.t; mutable dirty : int list; mutable dirty_n : int }
+
+let create () = { entries = Hashtbl.create 64; dirty = []; dirty_n = 0 }
+
+let mark_dirty t vpn =
+  t.dirty <- vpn :: t.dirty;
+  t.dirty_n <- t.dirty_n + 1
+
+let map t ~vpn ~paddr ~writable =
+  (match Hashtbl.find_opt t.entries vpn with
+  | Some _ -> invalid_arg "Pagetable.map: already mapped"
+  | None -> ());
+  Hashtbl.replace t.entries vpn { paddr; writable; dirty = false };
+  if writable then mark_dirty t vpn
+
+let unmap t ~vpn = Hashtbl.remove t.entries vpn
+
+let lookup t ~vpn = Hashtbl.find_opt t.entries vpn
+
+let protect t ~vpn =
+  match Hashtbl.find_opt t.entries vpn with
+  | None -> ()
+  | Some pte -> pte.writable <- false
+
+let make_writable t ~vpn =
+  match Hashtbl.find_opt t.entries vpn with
+  | None -> invalid_arg "Pagetable.make_writable: unmapped"
+  | Some pte ->
+    if not pte.writable then begin
+      pte.writable <- true;
+      mark_dirty t vpn
+    end
+
+let remap t ~vpn ~paddr =
+  match Hashtbl.find_opt t.entries vpn with
+  | None -> invalid_arg "Pagetable.remap: unmapped"
+  | Some pte -> pte.paddr <- paddr
+
+let dirty_pages t =
+  List.filter_map
+    (fun vpn ->
+      match Hashtbl.find_opt t.entries vpn with
+      | Some pte when pte.writable -> Some (vpn, pte)
+      | Some _ | None -> None)
+    t.dirty
+
+let dirty_count t = t.dirty_n
+
+let protect_dirty t f =
+  let n = ref 0 in
+  List.iter
+    (fun vpn ->
+      match Hashtbl.find_opt t.entries vpn with
+      | Some pte when pte.writable ->
+        if f vpn pte then begin
+          pte.writable <- false;
+          incr n
+        end
+      | Some _ | None -> ())
+    t.dirty;
+  t.dirty <- [];
+  t.dirty_n <- 0;
+  !n
+
+let mapped_count t = Hashtbl.length t.entries
+let iter f t = Hashtbl.iter f t.entries

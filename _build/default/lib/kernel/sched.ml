@@ -1,0 +1,23 @@
+module Kobj = Treesls_cap.Kobj
+
+type t = { queue : Kobj.thread Queue.t }
+
+let create () = { queue = Queue.create () }
+
+let enqueue t th = Queue.add th t.queue
+
+let rec pick t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some th -> ( match th.Kobj.th_state with Kobj.Ready -> Some th | _ -> pick t)
+
+let ready_count t = Queue.length t.queue
+let clear t = Queue.clear t.queue
+
+let rebuild t ~root =
+  clear t;
+  Kobj.iter_tree ~root (fun obj ->
+      match obj with
+      | Kobj.Thread th when th.Kobj.th_state = Kobj.Ready -> enqueue t th
+      | Kobj.Thread _ | Kobj.Cap_group _ | Kobj.Vmspace _ | Kobj.Pmo _ | Kobj.Ipc_conn _
+      | Kobj.Notification _ | Kobj.Irq_notification _ -> ())

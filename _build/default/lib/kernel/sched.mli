@@ -1,0 +1,19 @@
+(** Round-robin scheduler.
+
+    Derived state: the ready queue is {e not} checkpointed; recovery
+    repopulates it from thread states in the restored capability tree
+    ("adding all threads to the scheduler's queue", §3). *)
+
+type t
+
+val create : unit -> t
+val enqueue : t -> Treesls_cap.Kobj.thread -> unit
+val pick : t -> Treesls_cap.Kobj.thread option
+(** Dequeue the next ready thread (skipping threads no longer [Ready]). *)
+
+val ready_count : t -> int
+val clear : t -> unit
+
+val rebuild : t -> root:Treesls_cap.Kobj.cap_group -> unit
+(** Recovery: clear, then enqueue every [Ready] thread reachable from the
+    capability tree. *)

@@ -1,0 +1,1 @@
+lib/nvm/buddy.ml: Array Printf Treesls_util Txn Warea

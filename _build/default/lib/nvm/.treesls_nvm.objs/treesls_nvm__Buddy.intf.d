@@ -1,0 +1,1 @@
+lib/nvm/buddy.mli: Txn Warea

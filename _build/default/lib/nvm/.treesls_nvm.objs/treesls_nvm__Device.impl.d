@@ -1,0 +1,1 @@
+lib/nvm/device.ml: Array Bytes Paddr

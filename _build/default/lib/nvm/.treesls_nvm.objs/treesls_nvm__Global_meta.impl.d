@@ -1,0 +1,1 @@
+lib/nvm/global_meta.ml:

@@ -1,0 +1,1 @@
+lib/nvm/paddr.mli: Format

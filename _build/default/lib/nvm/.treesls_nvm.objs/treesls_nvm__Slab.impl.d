@@ -1,0 +1,1 @@
+lib/nvm/slab.ml: Array Buddy Printf Txn Warea

@@ -1,0 +1,1 @@
+lib/nvm/slab.mli: Buddy Warea

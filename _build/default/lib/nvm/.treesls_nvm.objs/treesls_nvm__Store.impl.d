@@ -1,0 +1,1 @@
+lib/nvm/store.ml: Buddy Bytes Char Device Fun Global_meta Hashtbl List Paddr Slab Treesls_sim Treesls_util Warea

@@ -1,0 +1,1 @@
+lib/nvm/store.mli: Buddy Bytes Global_meta Paddr Slab Treesls_sim Warea

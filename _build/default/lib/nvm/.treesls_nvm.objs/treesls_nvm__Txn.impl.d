@@ -1,0 +1,1 @@
+lib/nvm/txn.ml: Hashtbl List Queue Warea

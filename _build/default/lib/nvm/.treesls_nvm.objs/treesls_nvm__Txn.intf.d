@@ -1,0 +1,1 @@
+lib/nvm/txn.mli: Warea

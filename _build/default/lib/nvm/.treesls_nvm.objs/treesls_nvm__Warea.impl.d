@@ -1,0 +1,1 @@
+lib/nvm/warea.ml: Array Hashtbl List

@@ -1,0 +1,47 @@
+(** Buddy allocator for NVM pages.
+
+    The checkpoint manager "uses a buddy system to manage all NVM resources"
+    (§3).  State is a complete binary tree stored in the journaled word area
+    ({!Warea}): node [i] records the size of the largest free run of pages
+    below it, so allocation descends in O(log n) and freeing merges buddies
+    by recomputing ancestors.  A parallel array records the order of each
+    live allocation so that a mismatched [free] is detected.
+
+    Every mutation goes through a {!Txn}; a crash at any phase leaves the
+    tree either before or after the whole operation. *)
+
+type t
+
+val words_needed : total_pages:int -> int
+(** Words of {!Warea} this allocator occupies for [total_pages] (a power of
+    two). *)
+
+val format : Warea.t -> base:int -> total_pages:int -> t
+(** Initialise a fresh allocator (boot time; all pages free). *)
+
+val attach : Warea.t -> base:int -> total_pages:int -> t
+(** Re-attach to existing state after a crash (no reformat). *)
+
+val total_pages : t -> int
+val free_pages : t -> int
+
+val alloc_txn : Txn.t -> t -> order:int -> int option
+(** Reserve a block of [2^order] pages inside an open transaction; returns
+    the page offset. The reservation only becomes durable when the
+    transaction commits. *)
+
+val free_txn : Txn.t -> t -> offset:int -> unit
+(** Release the block starting at [offset]. Raises [Invalid_argument] if
+    [offset] is not the start of a live allocation. *)
+
+val alloc : t -> order:int -> int option
+(** [alloc_txn] + commit as a single-op transaction. *)
+
+val free : t -> offset:int -> unit
+
+val order_of : t -> offset:int -> int option
+(** Order of the live allocation at [offset], if any. *)
+
+val check_invariants : t -> unit
+(** Recompute the tree bottom-up and compare with stored state; verify the
+    free-page count. Raises [Failure] on divergence (test helper). *)

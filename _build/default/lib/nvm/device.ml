@@ -1,0 +1,56 @@
+type kind = Paddr.device
+
+type t = {
+  kind : kind;
+  page_size : int;
+  store : Bytes.t option array;
+  mutable touched : int;
+}
+
+let create ~kind ~pages ~page_size =
+  assert (pages > 0 && page_size > 0);
+  { kind; page_size; store = Array.make pages None; touched = 0 }
+
+let kind t = t.kind
+let pages t = Array.length t.store
+let page_size t = t.page_size
+
+let page t idx =
+  match t.store.(idx) with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make t.page_size '\000' in
+    t.store.(idx) <- Some b;
+    t.touched <- t.touched + 1;
+    b
+
+let read t idx ~off ~len =
+  assert (off >= 0 && len >= 0 && off + len <= t.page_size);
+  let p = page t idx in
+  Bytes.sub p off len
+
+let write t idx ~off src =
+  let len = Bytes.length src in
+  assert (off >= 0 && off + len <= t.page_size);
+  let p = page t idx in
+  Bytes.blit src 0 p off len
+
+let copy_page ~src ~src_idx ~dst ~dst_idx =
+  assert (src.page_size = dst.page_size);
+  let s = page src src_idx in
+  let d = page dst dst_idx in
+  Bytes.blit s 0 d 0 src.page_size
+
+let zero_page t idx =
+  match t.store.(idx) with
+  | None -> ()
+  | Some b -> Bytes.fill b 0 t.page_size '\000'
+
+let crash t =
+  match t.kind with
+  | Paddr.Nvm | Paddr.Ssd -> ()
+  | Paddr.Dram ->
+    Array.iteri (fun i slot -> if slot <> None then t.store.(i) <- None) t.store;
+    t.touched <- 0
+
+let touched t = t.touched

@@ -1,0 +1,16 @@
+type status = Idle | In_progress
+
+(* NVM-resident: survives crash (no explicit wipe). *)
+type t = { mutable version : int; mutable status : status }
+
+let create () = { version = 0; status = Idle }
+let version t = t.version
+let status t = t.status
+let begin_checkpoint t = t.status <- In_progress
+
+let commit_checkpoint t =
+  t.version <- t.version + 1;
+  t.status <- Idle
+
+let abort_in_flight t = t.status <- Idle
+let checkpoints_taken t = t.version

@@ -1,0 +1,26 @@
+type device = Nvm | Dram | Ssd
+
+type t = { dev : device; idx : int }
+
+let nvm idx = { dev = Nvm; idx }
+let dram idx = { dev = Dram; idx }
+let ssd idx = { dev = Ssd; idx }
+let is_nvm t = t.dev = Nvm
+let is_dram t = t.dev = Dram
+let is_ssd t = t.dev = Ssd
+let persistent t = t.dev <> Dram
+let equal a b = a.dev = b.dev && a.idx = b.idx
+
+let rank = function Nvm -> 0 | Dram -> 1 | Ssd -> 2
+
+let compare a b =
+  match Int.compare (rank a.dev) (rank b.dev) with
+  | 0 -> Int.compare a.idx b.idx
+  | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d"
+    (match t.dev with Nvm -> "nvm" | Dram -> "dram" | Ssd -> "ssd")
+    t.idx
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,26 @@
+(** Physical page addresses.
+
+    A page lives on the NVM device (survives power failure), on the DRAM
+    device (wiped by power failure), or — under memory over-commitment — in
+    an SSD swap slot (persistent, slow; paper section 8).  TreeSLS migrates
+    hot pages to DRAM, keeps checkpoints on NVM, and evicts cold pages to
+    SSD, so a physical address must name the device explicitly. *)
+
+type device = Nvm | Dram | Ssd
+
+type t = { dev : device; idx : int }
+
+val nvm : int -> t
+val dram : int -> t
+val ssd : int -> t
+val is_nvm : t -> bool
+val is_dram : t -> bool
+val is_ssd : t -> bool
+
+val persistent : t -> bool
+(** Survives a power failure (NVM or SSD). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,25 @@
+type t = { area : Warea.t; writes : (int, int) Hashtbl.t; order : int ref; seq : (int * int) Queue.t }
+
+(* [seq] keeps first-write order for deterministic journal records; a
+   rewrite of the same index updates the table but keeps its position. *)
+let create area = { area; writes = Hashtbl.create 32; order = ref 0; seq = Queue.create () }
+
+let read t i =
+  match Hashtbl.find_opt t.writes i with
+  | Some v -> v
+  | None -> Warea.read t.area i
+
+let write t i v =
+  if not (Hashtbl.mem t.writes i) then Queue.add (i, 0) t.seq;
+  Hashtbl.replace t.writes i v
+
+let commit t ~desc =
+  let writes =
+    Queue.fold (fun acc (i, _) -> (i, Hashtbl.find t.writes i) :: acc) [] t.seq
+    |> List.rev
+  in
+  if writes <> [] then Warea.commit t.area ~desc writes;
+  Hashtbl.reset t.writes;
+  Queue.clear t.seq
+
+let pending t = Hashtbl.length t.writes

@@ -1,0 +1,19 @@
+(** Read-through write buffer over a {!Warea}.
+
+    Allocator operations compute their word updates against a transaction
+    so that several logically-joined operations (e.g. "buddy gives a page to
+    a new slab") become a single atomic journal commit. *)
+
+type t
+
+val create : Warea.t -> t
+val read : t -> int -> int
+(** Pending value if written in this transaction, else the durable word. *)
+
+val write : t -> int -> int -> unit
+val commit : t -> desc:string -> unit
+(** Journal-commit all pending writes. Raises {!Warea.Crashed} if a crash
+    plan is armed; pending writes are then lost or torn per the plan. *)
+
+val pending : t -> int
+(** Number of distinct words written so far. *)

@@ -1,0 +1,80 @@
+exception Crashed of string
+
+type crash_phase = Before_log | After_log | Mid_apply | After_apply
+
+(* A logged record survives crashes (it is on NVM). [complete] models the
+   record's trailing checksum/commit mark: a record torn mid-write is
+   detectable and must be discarded, not replayed. *)
+type record = { writes : (int * int) array; complete : bool }
+
+type t = {
+  words : int array;
+  mutable log : record option;
+  mutable crash_plan : crash_phase option;
+  mutable commits : int;
+  mutable words_written : int;
+}
+
+let create ~words =
+  assert (words > 0);
+  { words = Array.make words 0; log = None; crash_plan = None; commits = 0; words_written = 0 }
+
+let size t = Array.length t.words
+let read t i = t.words.(i)
+
+let check_distinct writes =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (i, _) ->
+      if Hashtbl.mem tbl i then invalid_arg "Warea.commit: duplicate index";
+      Hashtbl.add tbl i ())
+    writes
+
+let apply_all t record = Array.iter (fun (i, v) -> t.words.(i) <- v) record.writes
+
+let commit t ~desc writes =
+  check_distinct writes;
+  let arr = Array.of_list writes in
+  (match t.crash_plan with
+  | Some Before_log ->
+    t.crash_plan <- None;
+    (* The record was being written when power failed: keep a torn
+       (incomplete) record so recovery exercises the discard path. *)
+    t.log <- Some { writes = arr; complete = false };
+    raise (Crashed (desc ^ ": before-log"))
+  | _ -> ());
+  t.log <- Some { writes = arr; complete = true };
+  (match t.crash_plan with
+  | Some After_log ->
+    t.crash_plan <- None;
+    raise (Crashed (desc ^ ": after-log"))
+  | _ -> ());
+  (match t.crash_plan with
+  | Some Mid_apply ->
+    t.crash_plan <- None;
+    let half = Array.length arr / 2 in
+    Array.iteri (fun k (i, v) -> if k < half then t.words.(i) <- v) arr;
+    raise (Crashed (desc ^ ": mid-apply"))
+  | _ -> ());
+  apply_all t { writes = arr; complete = true };
+  (match t.crash_plan with
+  | Some After_apply ->
+    t.crash_plan <- None;
+    raise (Crashed (desc ^ ": after-apply"))
+  | _ -> ());
+  t.log <- None;
+  t.commits <- t.commits + 1;
+  t.words_written <- t.words_written + Array.length arr
+
+let set_crash_plan t plan = t.crash_plan <- plan
+
+let recover t =
+  match t.log with
+  | None -> ()
+  | Some record ->
+    if record.complete then apply_all t record;
+    t.log <- None
+
+let in_flight t = t.log <> None
+let commits t = t.commits
+let words_written t = t.words_written

@@ -1,0 +1,56 @@
+(** Persistent word area with redo journaling.
+
+    The checkpoint manager's own state (buddy tree, slab headers) is not
+    checkpointed — it lives in this flat array of NVM words and is kept
+    crash-consistent with a redo journal (§3 of the paper: "TreeSLS
+    leverages redo/undo journaling to maintain the crash consistency of the
+    checkpoint manager").
+
+    An update is a {e transaction}: the full list of (index, new-value)
+    writes is first logged to the journal area, then applied to the words,
+    then the journal record is truncated.  Recovery replays any record that
+    was fully logged (idempotent redo) and discards partial logs, so a crash
+    at any instant leaves the words in either the pre- or post-transaction
+    state.
+
+    Crash injection for tests: {!set_crash_plan} arms a simulated power
+    failure at a chosen phase of the next transaction; the transaction then
+    raises {!Crashed} leaving the area exactly as a real power cut would. *)
+
+exception Crashed of string
+(** Raised by an armed crash plan. The word area is left in the torn state
+    a power failure at that instant would produce. *)
+
+type t
+
+type crash_phase =
+  | Before_log  (** power fails before the journal record is durable *)
+  | After_log  (** record durable, no data words written yet *)
+  | Mid_apply  (** record durable, roughly half the writes applied *)
+  | After_apply  (** all writes applied, record not yet truncated *)
+
+val create : words:int -> t
+val size : t -> int
+
+val read : t -> int -> int
+(** Read word [i]. *)
+
+val commit : t -> desc:string -> (int * int) list -> unit
+(** [commit t ~desc writes] atomically applies [(index, value)] writes.
+    Indices must be distinct. Raises {!Crashed} if a crash plan is armed. *)
+
+val set_crash_plan : t -> crash_phase option -> unit
+(** Arm (or disarm) a crash during the next [commit]. *)
+
+val recover : t -> unit
+(** Journal replay after a crash: redo a fully-logged record, drop a torn
+    one. Idempotent. *)
+
+val in_flight : t -> bool
+(** Whether an un-truncated journal record exists (only after a crash). *)
+
+val commits : t -> int
+(** Number of successful commits since creation (cost accounting). *)
+
+val words_written : t -> int
+(** Total data words written by successful commits. *)

@@ -1,0 +1,10 @@
+type t = { mutable now_ns : int }
+
+let create () = { now_ns = 0 }
+let now t = t.now_ns
+
+let advance t ns =
+  assert (ns >= 0);
+  t.now_ns <- t.now_ns + ns
+
+let reset t = t.now_ns <- 0

@@ -1,0 +1,18 @@
+(** Virtual time.
+
+    The whole system advances a single simulated nanosecond counter; costs
+    from {!Cost} are charged onto it.  Parallel phases (the non-leader cores
+    doing hybrid copy during a stop-the-world pause) are modelled
+    analytically by the checkpoint code, which advances the clock by the
+    maximum of the parallel durations rather than their sum. *)
+
+type t
+
+val create : unit -> t
+val now : t -> int
+(** Current simulated time in ns since boot. *)
+
+val advance : t -> int -> unit
+(** [advance t ns] moves time forward. [ns] must be non-negative. *)
+
+val reset : t -> unit

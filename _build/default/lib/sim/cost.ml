@@ -1,0 +1,57 @@
+type t = {
+  page_size : int;
+  ipi_send_ns : int;
+  ipi_ack_ns : int;
+  trap_ns : int;
+  syscall_ns : int;
+  dram_page_copy_ns : int;
+  nvm_page_read_copy_ns : int;
+  nvm_page_write_copy_ns : int;
+  word_copy_dram_ns : float;
+  word_copy_nvm_ns : float;
+  alloc_small_ns : int;
+  alloc_page_ns : int;
+  mark_ro_ns : int;
+  tlb_shootdown_ns : int;
+  journal_entry_ns : int;
+  dram_access_ns : int;
+  nvm_read_ns : int;
+  nvm_write_ns : int;
+  nvme_flush_base_ns : int;
+  nvme_byte_ns : float;
+}
+
+let default =
+  {
+    page_size = 4096;
+    ipi_send_ns = 400;
+    ipi_ack_ns = 700;
+    trap_ns = 1000;
+    syscall_ns = 500;
+    dram_page_copy_ns = 350;
+    nvm_page_read_copy_ns = 800;
+    nvm_page_write_copy_ns = 1600;
+    word_copy_dram_ns = 0.8;
+    word_copy_nvm_ns = 2.5;
+    alloc_small_ns = 60;
+    alloc_page_ns = 120;
+    mark_ro_ns = 25;
+    tlb_shootdown_ns = 800;
+    journal_entry_ns = 300;
+    dram_access_ns = 85;
+    nvm_read_ns = 95;
+    nvm_write_ns = 95;
+    nvme_flush_base_ns = 10_000;
+    nvme_byte_ns = 0.5;
+  }
+
+let object_copy_ns t ~to_nvm ~bytes_len =
+  let words = (bytes_len + 7) / 8 in
+  let per_word = if to_nvm then t.word_copy_nvm_ns else t.word_copy_dram_ns in
+  int_of_float (Float.ceil (float_of_int words *. per_word))
+
+let page_copy_ns t ~src_dram ~dst_dram =
+  match (src_dram, dst_dram) with
+  | true, true -> t.dram_page_copy_ns
+  | false, true -> t.nvm_page_read_copy_ns
+  | _, false -> t.nvm_page_write_copy_ns

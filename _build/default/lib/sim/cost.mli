@@ -1,0 +1,44 @@
+(** Latency cost model for the simulated machine.
+
+    All durations are nanoseconds of simulated time.  Defaults approximate
+    the paper's testbed (Xeon Gold 6330 at 2.0 GHz with Optane PMem 200 and
+    eADR): DRAM ~80 ns loads, NVM reads ~170-300 ns, NVM write bandwidth
+    roughly a third of DRAM's, IPI round-trips of a few microseconds.  The
+    absolute values only need to be plausible; the experiments compare
+    configurations against each other under the same model. *)
+
+type t = {
+  page_size : int;  (** bytes per page (4 KiB default) *)
+  ipi_send_ns : int;  (** leader raising one IPI *)
+  ipi_ack_ns : int;  (** waiting for one core to reach quiescence *)
+  trap_ns : int;  (** page-fault trap entry + exit *)
+  syscall_ns : int;  (** syscall entry + exit *)
+  dram_page_copy_ns : int;  (** memcpy one page DRAM -> DRAM *)
+  nvm_page_read_copy_ns : int;  (** memcpy one page NVM -> DRAM *)
+  nvm_page_write_copy_ns : int;  (** memcpy one page (any) -> NVM *)
+  word_copy_dram_ns : float;  (** per-8-byte-word copy cost in DRAM *)
+  word_copy_nvm_ns : float;  (** per-8-byte-word copy cost writing NVM *)
+  alloc_small_ns : int;  (** slab allocation *)
+  alloc_page_ns : int;  (** buddy allocation of one page *)
+  mark_ro_ns : int;  (** setting one PTE read-only *)
+  tlb_shootdown_ns : int;  (** per-core TLB flush during checkpoint *)
+  journal_entry_ns : int;  (** writing + flushing one journal record *)
+  dram_access_ns : int;  (** one cacheline access in DRAM *)
+      (* the NVM access costs below are effective (CPU-cache-filtered)
+         latencies: repeated accesses to hot lines hit L1/L2 regardless of
+         the backing medium, so the raw ~3x Optane read penalty shows up
+         here only partially *)
+  nvm_read_ns : int;  (** one cacheline read from NVM *)
+  nvm_write_ns : int;  (** one cacheline store to NVM (eADR: near-DRAM; the
+      penalty sits in reads and bulk copies) *)
+  nvme_flush_base_ns : int;  (** NVMe submission+completion latency (baselines) *)
+  nvme_byte_ns : float;  (** NVMe per-byte streaming cost (baselines) *)
+}
+
+val default : t
+
+val object_copy_ns : t -> to_nvm:bool -> bytes_len:int -> int
+(** Cost of copying a small kernel object of [bytes_len] bytes. *)
+
+val page_copy_ns : t -> src_dram:bool -> dst_dram:bool -> int
+(** Cost of copying one whole page between the given device kinds. *)

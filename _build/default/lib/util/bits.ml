@@ -1,0 +1,17 @@
+let leading_zeros v =
+  if v <= 0 then invalid_arg "Bits.leading_zeros: non-positive";
+  let rec loop n acc = if n = 0 then acc else loop (n lsr 1) (acc - 1) in
+  loop v 63
+
+let log2_int v =
+  if v <= 0 then invalid_arg "Bits.log2_int: non-positive";
+  62 - leading_zeros v
+
+let is_power_of_two v = v > 0 && v land (v - 1) = 0
+
+let next_power_of_two v =
+  if v <= 1 then 1
+  else begin
+    let l = log2_int (v - 1) in
+    1 lsl (l + 1)
+  end

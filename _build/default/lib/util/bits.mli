@@ -1,0 +1,11 @@
+(** Small bit-twiddling helpers shared by allocators and histograms. *)
+
+val leading_zeros : int -> int
+(** Count of leading zero bits in the 63-bit OCaml int representation of a
+    positive integer. [leading_zeros 1 = 62]. Raises on non-positive input. *)
+
+val log2_int : int -> int
+(** Floor of log2 for positive integers. *)
+
+val is_power_of_two : int -> bool
+val next_power_of_two : int -> int

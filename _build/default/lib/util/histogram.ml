@@ -1,0 +1,74 @@
+type t = {
+  sub_buckets : int;
+  counts : int array; (* octave * sub_buckets + sub index *)
+  mutable n : int;
+  mutable sum : int;
+  mutable maxv : int;
+}
+
+let octaves = 48
+
+let create ?(sub_buckets = 16) () =
+  { sub_buckets; counts = Array.make (octaves * sub_buckets) 0; n = 0; sum = 0; maxv = 0 }
+
+let bucket_index t v =
+  if v < t.sub_buckets then v
+  else begin
+    (* octave = position of the highest set bit above log2 sub_buckets *)
+    let bits = Bits.log2_int v in
+    let low_bits = Bits.log2_int t.sub_buckets in
+    let octave = bits - low_bits in
+    let sub = (v lsr (bits - low_bits)) - t.sub_buckets in
+    (* sub in [0, sub_buckets): the sub_buckets values after the leading bit *)
+    ((octave + 1) * t.sub_buckets) + sub
+  end
+
+let bucket_upper t idx =
+  if idx < t.sub_buckets then idx
+  else begin
+    let octave = (idx / t.sub_buckets) - 1 in
+    let sub = idx mod t.sub_buckets in
+    let low_bits = Bits.log2_int t.sub_buckets in
+    let base = 1 lsl (octave + low_bits) in
+    let step = base / t.sub_buckets in
+    base + ((sub + 1) * step) - 1
+  end
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  let idx = bucket_index t v in
+  let idx = if idx >= Array.length t.counts then Array.length t.counts - 1 else idx in
+  t.counts.(idx) <- t.counts.(idx) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  if v > t.maxv then t.maxv <- v
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+let max_value t = t.maxv
+
+let percentile t p =
+  if t.n = 0 then 0
+  else begin
+    let target = int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.n)) in
+    let target = if target < 1 then 1 else target in
+    let acc = ref 0 in
+    let result = ref t.maxv in
+    (try
+       for i = 0 to Array.length t.counts - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= target then begin
+           result := bucket_upper t i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !result > t.maxv then t.maxv else !result
+  end
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.n <- 0;
+  t.sum <- 0;
+  t.maxv <- 0

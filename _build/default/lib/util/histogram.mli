@@ -1,0 +1,23 @@
+(** Log-scaled latency histogram.
+
+    Fixed memory regardless of sample count, used where experiments record
+    millions of per-operation latencies.  Buckets are exponential with a
+    configurable number of sub-buckets per octave (HdrHistogram-style). *)
+
+type t
+
+val create : ?sub_buckets:int -> unit -> t
+(** [create ~sub_buckets ()] with [sub_buckets] linear subdivisions per
+    power of two (default 16). Values are non-negative integers
+    (e.g. nanoseconds). *)
+
+val add : t -> int -> unit
+val count : t -> int
+val total : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** Upper bound of the bucket containing the given percentile. *)
+
+val max_value : t -> int
+val clear : t -> unit

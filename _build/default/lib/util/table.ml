@@ -1,0 +1,45 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?aligns ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match aligns with
+    | Some a ->
+      assert (List.length a = ncols);
+      Array.of_list a
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.make ncols 0 in
+  let account row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols && String.length cell > widths.(i) then
+          widths.(i) <- String.length cell)
+      row
+  in
+  account header;
+  List.iter account rows;
+  let line row =
+    let cells =
+      List.mapi (fun i cell -> pad aligns.(i) widths.(i) cell) row
+    in
+    String.concat "  " cells
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let print ?aligns ~title ~header rows =
+  Printf.printf "\n== %s ==\n%s\n" title (render ?aligns ~header rows)
+
+let fmt_us v = Printf.sprintf "%.2f" v
+let fmt_ratio v = Printf.sprintf "%.2fx" v
+let fmt_pct v = Printf.sprintf "%.0f%%" (v *. 100.0)

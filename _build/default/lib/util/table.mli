@@ -1,0 +1,23 @@
+(** Plain-text table rendering for benchmark output.
+
+    Produces the aligned tables that [bench/main.exe] prints for each
+    reproduced paper table/figure. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out rows under the header with column
+    separators. [aligns] defaults to [Left] for the first column and
+    [Right] for the rest. *)
+
+val print : ?aligns:align list -> title:string -> header:string list -> string list list -> unit
+(** [print ~title ~header rows] writes a titled table to stdout. *)
+
+val fmt_us : float -> string
+(** Format a microsecond quantity with 2 decimals, e.g. ["12.34"]. *)
+
+val fmt_ratio : float -> string
+(** Format a ratio with 2 decimals and a trailing [x], e.g. ["2.20x"]. *)
+
+val fmt_pct : float -> string
+(** Format a fraction as a percentage, e.g. [fmt_pct 0.46 = "46%"]. *)

@@ -1,0 +1,1 @@
+lib/workloads/prefix_dist.ml: Float Printf String Treesls_util

@@ -1,0 +1,37 @@
+module Rng = Treesls_util.Rng
+module Zipf = Treesls_util.Zipf
+
+type op = Put of { key : string; value : string } | Get of { key : string }
+
+type t = {
+  rng : Rng.t;
+  prefixes : Zipf.t;  (** skewed prefix popularity *)
+  suffix_domain : int;
+  write_fraction : float;
+}
+
+let create ?(keys = 50_000) ?(write_fraction = 0.78) rng =
+  {
+    rng;
+    prefixes = Zipf.create ~n:64 rng;
+    suffix_domain = keys / 64;
+    write_fraction;
+  }
+
+let key t =
+  let prefix = Zipf.next t.prefixes in
+  let suffix = Rng.int t.rng (max 1 t.suffix_domain) in
+  Printf.sprintf "p%02d:%08d" prefix suffix
+
+(* Value sizes: mostly small with a heavy tail (Pareto-ish, mean ~120 B,
+   capped at 1 KiB like the paper's sizing). *)
+let value_size t =
+  let u = Rng.float t.rng 1.0 in
+  let v = int_of_float (35.0 /. Float.pow (1.0 -. u) 0.6) in
+  max 16 (min 1024 v)
+
+let next t =
+  let k = key t in
+  if Rng.float t.rng 1.0 < t.write_fraction then
+    Put { key = k; value = String.make (value_size t) 'v' }
+  else Get { key = k }

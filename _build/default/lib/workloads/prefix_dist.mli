@@ -1,0 +1,15 @@
+(** Facebook Prefix_dist-style RocksDB workload (Cao et al., FAST'20).
+
+    Keys carry skewed prefixes (a small set of prefixes receives most
+    traffic); value sizes follow a Pareto-like distribution; the mix is
+    write-heavy with occasional gets, matching how §7.5.2 exercises
+    RocksDB. *)
+
+type op = Put of { key : string; value : string } | Get of { key : string }
+
+type t
+
+val create : ?keys:int -> ?write_fraction:float -> Treesls_util.Rng.t -> t
+(** Defaults: 50_000 keys, 78% writes. *)
+
+val next : t -> op

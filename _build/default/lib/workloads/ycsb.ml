@@ -1,0 +1,38 @@
+module Rng = Treesls_util.Rng
+module Zipf = Treesls_util.Zipf
+
+type workload = A | B | C | Update_only | Insert_only
+
+let name = function
+  | A -> "Workload A"
+  | B -> "Workload B"
+  | C -> "Workload C"
+  | Update_only -> "100% Update"
+  | Insert_only -> "100% Insert"
+
+let all = [ A; B; C; Update_only; Insert_only ]
+
+type op = Read of int | Update of int | Insert of int
+
+type t = { workload : workload; rng : Rng.t; zipf : Zipf.t; mutable keys : int }
+
+let read_fraction = function
+  | A -> 0.5
+  | B -> 0.95
+  | C -> 1.0
+  | Update_only | Insert_only -> 0.0
+
+let create workload ~keys rng =
+  { workload; rng; zipf = Zipf.create ~n:keys rng; keys }
+
+let next t =
+  match t.workload with
+  | Insert_only ->
+    let k = t.keys in
+    t.keys <- t.keys + 1;
+    Insert k
+  | (A | B | C | Update_only) as w ->
+    let k = Zipf.scrambled t.zipf in
+    if Rng.float t.rng 1.0 < read_fraction w then Read k else Update k
+
+let key_count t = t.keys

@@ -1,0 +1,22 @@
+(** YCSB operation streams (Cooper et al., SoCC'10), as used in §7.5.1.
+
+    Key popularity follows the scrambled-Zipfian distribution over the
+    loaded key space; inserts extend the key space.  The five workloads of
+    Figure 13: A (50% read / 50% update), B (95/5), C (100% read),
+    100% Update, 100% Insert. *)
+
+type workload = A | B | C | Update_only | Insert_only
+
+val name : workload -> string
+val all : workload list
+
+type op = Read of int | Update of int | Insert of int
+(** Key indices; [Insert i] introduces key [i] (= current key count). *)
+
+type t
+
+val create : workload -> keys:int -> Treesls_util.Rng.t -> t
+(** [keys] already loaded (Zipfian domain grows as inserts happen). *)
+
+val next : t -> op
+val key_count : t -> int

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest List Option Printf String Treesls Treesls_apps Treesls_cap Treesls_kernel Treesls_util

@@ -1,0 +1,1 @@
+test/test_cap.ml: Alcotest Format Gen Hashtbl List QCheck QCheck_alcotest Treesls_cap Treesls_nvm Treesls_util

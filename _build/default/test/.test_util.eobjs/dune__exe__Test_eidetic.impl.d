@@ -1,0 +1,1 @@
+test/test_eidetic.ml: Alcotest Bytes Hashtbl List Option Printf Treesls Treesls_cap Treesls_ckpt Treesls_kernel Treesls_nvm Treesls_sim

@@ -1,0 +1,1 @@
+test/test_extsync.ml: Alcotest Bytes List Option Printf Treesls Treesls_apps Treesls_ckpt Treesls_extsync Treesls_kernel

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bytes Char List Option Treesls_cap Treesls_kernel Treesls_nvm Treesls_sim

@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Bytes Int64 List Option QCheck QCheck_alcotest Treesls_nvm Treesls_sim Treesls_util

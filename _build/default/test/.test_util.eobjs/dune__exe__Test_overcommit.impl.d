@@ -1,0 +1,1 @@
+test/test_overcommit.ml: Alcotest Array Bytes Int64 List Option Printf QCheck QCheck_alcotest String Treesls Treesls_cap Treesls_ckpt Treesls_kernel Treesls_nvm Treesls_sim Treesls_util

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Bytes Hashtbl Int64 List Option Printf QCheck QCheck_alcotest Treesls Treesls_apps Treesls_cap Treesls_ckpt Treesls_kernel Treesls_nvm Treesls_sim Treesls_util

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Hashtbl List Option String Treesls_util Treesls_workloads

@@ -1,0 +1,359 @@
+(* Tests for the application suite: the PMO-resident KV store, the LSM
+   stores, SQLite, Phoenix and the Memcached/Redis servers — including
+   their Table 2 object censuses and post-recovery reattachment. *)
+
+module System = Treesls.System
+module Kernel = Treesls_kernel.Kernel
+module Census = Treesls_cap.Census
+module Kvstore = Treesls_apps.Kvstore
+module Kv_app = Treesls_apps.Kv_app
+module Lsm = Treesls_apps.Lsm
+module Sqlite = Treesls_apps.Sqlite
+module Phoenix = Treesls_apps.Phoenix
+module Rng = Treesls_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str_opt = Alcotest.(check (option string))
+
+let boot () = System.boot ()
+
+let mk_kv sys =
+  let k = System.kernel sys in
+  let p = Kernel.create_process k ~name:"kvtest" ~threads:1 ~prio:5 in
+  (k, p, Kvstore.create k p ~buckets:64 ~pages:32)
+
+(* ---- Kvstore ---- *)
+
+let kv_put_get () =
+  let sys = boot () in
+  let _, _, kv = mk_kv sys in
+  Kvstore.put kv ~key:"a" ~value:"1";
+  check_str_opt "get" (Some "1") (Kvstore.get kv ~key:"a");
+  check_bool "mem" true (Kvstore.mem kv ~key:"a");
+  check_str_opt "missing" None (Kvstore.get kv ~key:"zzz");
+  check_int "count" 1 (Kvstore.count kv)
+
+let kv_update_in_place () =
+  let sys = boot () in
+  let _, _, kv = mk_kv sys in
+  Kvstore.put kv ~key:"k" ~value:"aaaa";
+  let used = Kvstore.bytes_used kv in
+  Kvstore.put kv ~key:"k" ~value:"bb";
+  check_str_opt "shrunk update" (Some "bb") (Kvstore.get kv ~key:"k");
+  check_int "in place: no growth" used (Kvstore.bytes_used kv);
+  check_int "count stable" 1 (Kvstore.count kv)
+
+let kv_update_grow () =
+  let sys = boot () in
+  let _, _, kv = mk_kv sys in
+  Kvstore.put kv ~key:"k" ~value:"aa";
+  Kvstore.put kv ~key:"k" ~value:(String.make 100 'b');
+  check_str_opt "grown value" (Some (String.make 100 'b')) (Kvstore.get kv ~key:"k");
+  check_int "count stable" 1 (Kvstore.count kv)
+
+(* regression: an update that outgrows its entry must unlink the stale
+   entry, or a later delete resurrects the old value *)
+let kv_grown_update_then_delete () =
+  let sys = boot () in
+  let _, _, kv = mk_kv sys in
+  Kvstore.put kv ~key:"k" ~value:"small";
+  Kvstore.put kv ~key:"k" ~value:(String.make 200 'L');
+  check_bool "deleted" true (Kvstore.delete kv ~key:"k");
+  check_str_opt "stays deleted (no stale resurrection)" None (Kvstore.get kv ~key:"k");
+  check_int "count consistent" 0 (Kvstore.count kv);
+  (* and re-inserting counts correctly *)
+  Kvstore.put kv ~key:"k" ~value:"again";
+  check_int "recounted" 1 (Kvstore.count kv)
+
+let kv_delete () =
+  let sys = boot () in
+  let _, _, kv = mk_kv sys in
+  Kvstore.put kv ~key:"a" ~value:"1";
+  Kvstore.put kv ~key:"b" ~value:"2";
+  check_bool "deleted" true (Kvstore.delete kv ~key:"a");
+  check_bool "gone" false (Kvstore.mem kv ~key:"a");
+  check_str_opt "other intact" (Some "2") (Kvstore.get kv ~key:"b");
+  check_bool "delete missing" false (Kvstore.delete kv ~key:"a");
+  check_int "count" 1 (Kvstore.count kv)
+
+let kv_collisions () =
+  let sys = boot () in
+  let k = System.kernel sys in
+  let p = Kernel.create_process k ~name:"coll" ~threads:1 ~prio:5 in
+  (* 2 buckets force chains *)
+  let kv = Kvstore.create k p ~buckets:2 ~pages:32 in
+  for i = 0 to 49 do
+    Kvstore.put kv ~key:(Printf.sprintf "key%d" i) ~value:(string_of_int i)
+  done;
+  check_int "all present" 50 (Kvstore.count kv);
+  for i = 0 to 49 do
+    check_str_opt "chained lookup" (Some (string_of_int i))
+      (Kvstore.get kv ~key:(Printf.sprintf "key%d" i))
+  done
+
+let kv_full () =
+  let sys = boot () in
+  let k = System.kernel sys in
+  let p = Kernel.create_process k ~name:"full" ~threads:1 ~prio:5 in
+  let kv = Kvstore.create k p ~buckets:8 ~pages:3 in
+  Alcotest.check_raises "region exhausted" Kvstore.Full (fun () ->
+      for i = 0 to 10_000 do
+        Kvstore.put kv ~key:(Printf.sprintf "k%d" i) ~value:(String.make 64 'v')
+      done)
+
+let kv_attach_roundtrip () =
+  let sys = boot () in
+  let k, p, kv = mk_kv sys in
+  Kvstore.put kv ~key:"x" ~value:"42";
+  let kv2 = Kvstore.attach k p ~vpn:(Kvstore.base_vpn kv) in
+  check_str_opt "attached view" (Some "42") (Kvstore.get kv2 ~key:"x");
+  Kvstore.put kv2 ~key:"y" ~value:"43";
+  check_str_opt "shared state" (Some "43") (Kvstore.get kv ~key:"y")
+
+let kv_persists_across_crash () =
+  let sys = boot () in
+  let k, p, kv = mk_kv sys in
+  Kvstore.put kv ~key:"stable" ~value:"yes";
+  ignore (System.checkpoint sys);
+  Kvstore.put kv ~key:"volatile" ~value:"no";
+  let _ = System.crash_and_recover sys in
+  ignore (k, p);
+  let k = System.kernel sys in
+  let p = Option.get (Kernel.find_process k ~name:"kvtest") in
+  let kv = Kvstore.attach k p ~vpn:(Kvstore.base_vpn kv) in
+  check_str_opt "committed key" (Some "yes") (Kvstore.get kv ~key:"stable");
+  check_str_opt "uncommitted rolled back" None (Kvstore.get kv ~key:"volatile")
+
+(* ---- Kv_app (Memcached / Redis) ---- *)
+
+let app_census profile (dcg, dth, dipc, dnt, dpmo, dvms) () =
+  let sys = boot () in
+  let k = System.kernel sys in
+  let before = Census.collect ~root:(Kernel.root k) in
+  let _app = Kv_app.launch ~keys_hint:1_000 sys profile in
+  let after = Census.collect ~root:(Kernel.root k) in
+  let d = Census.diff after before in
+  check_int "cap groups" dcg d.Census.cap_groups;
+  check_int "threads" dth d.Census.threads;
+  check_int "ipc" dipc d.Census.ipcs;
+  check_int "notifications" dnt d.Census.notifications;
+  check_int "pmos" dpmo d.Census.pmos;
+  check_int "vmspaces" dvms d.Census.vmspaces
+
+let app_ops () =
+  let sys = boot () in
+  let app = Kv_app.launch ~keys_hint:1_000 sys Kv_app.Memcached in
+  Kv_app.set app ~key:"k" ~value:"v";
+  check_str_opt "get" (Some "v") (Kv_app.get app ~key:"k");
+  check_bool "del" true (Kv_app.del app ~key:"k");
+  check_str_opt "gone" None (Kv_app.get app ~key:"k");
+  Kv_app.set_i app 5;
+  check_bool "set_i/get_i" true (Kv_app.get_i app 5 <> None);
+  check_int "value size" (Kv_app.value_size app) (String.length (Option.get (Kv_app.get_i app 5)))
+
+let app_refresh_after_crash () =
+  let sys = boot () in
+  let app = Kv_app.launch ~keys_hint:1_000 sys Kv_app.Redis in
+  Kv_app.set_i app 1;
+  ignore (System.checkpoint sys);
+  Kv_app.set_i app 2;
+  let _ = System.crash_and_recover sys in
+  Kv_app.refresh app;
+  check_bool "committed key" true (Kv_app.get_i app 1 <> None);
+  check_bool "uncommitted rolled back" true (Kv_app.get_i app 2 = None);
+  (* the app continues to work after recovery *)
+  Kv_app.set_i app 3;
+  check_bool "works after recovery" true (Kv_app.get_i app 3 <> None)
+
+(* ---- Lsm ---- *)
+
+let lsm_put_get () =
+  let sys = boot () in
+  let db = Lsm.launch sys Lsm.Rocksdb in
+  Lsm.put db ~key:"a" ~value:"1";
+  check_str_opt "memtable hit" (Some "1") (Lsm.get db ~key:"a");
+  check_int "memtable count" 1 (Lsm.memtable_count db)
+
+let lsm_flush_threshold () =
+  let sys = boot () in
+  let db = Lsm.launch ~memtable_kb:16 sys Lsm.Rocksdb in
+  check_int "no flush yet" 0 (Lsm.flushes db);
+  for i = 0 to 400 do
+    Lsm.put db ~key:(Printf.sprintf "k%06d" i) ~value:(String.make 100 'v')
+  done;
+  check_bool "flushed" true (Lsm.flushes db > 0);
+  (* memtable was reset and keeps accepting writes *)
+  Lsm.put db ~key:"after" ~value:"x";
+  check_str_opt "works after flush" (Some "x") (Lsm.get db ~key:"after")
+
+let lsm_wal_flag () =
+  let sys = boot () in
+  let with_wal = Lsm.launch ~wal:true sys Lsm.Rocksdb in
+  check_bool "wal on" true (Lsm.wal_enabled with_wal);
+  (* WAL writes consume extra simulated time per put *)
+  let t0 = System.now_ns sys in
+  for i = 0 to 99 do
+    Lsm.put with_wal ~key:(Printf.sprintf "k%d" i) ~value:"vvvv"
+  done;
+  let with_time = System.now_ns sys - t0 in
+  check_bool "wal costs time" true (with_time > 0)
+
+let lsm_census () =
+  let sys = boot () in
+  let k = System.kernel sys in
+  let before = Census.collect ~root:(Kernel.root k) in
+  let _db = Lsm.launch sys Lsm.Leveldb in
+  let d = Census.diff (Census.collect ~root:(Kernel.root k)) before in
+  (* Table 2 row C *)
+  check_int "cap groups" 1 d.Census.cap_groups;
+  check_int "threads" 5 d.Census.threads;
+  check_int "ipc" 3 d.Census.ipcs;
+  check_int "notifications" 2 d.Census.notifications;
+  check_int "pmos" 18 d.Census.pmos;
+  check_int "vmspaces" 1 d.Census.vmspaces
+
+let lsm_fillbatch () =
+  let sys = boot () in
+  let db = Lsm.launch sys Lsm.Leveldb in
+  Lsm.fillbatch db ~base:0 ~count:64;
+  check_str_opt "sequential key" (Some (String.make 100 'b')) (Lsm.get db ~key:"seq0000000042")
+
+(* ---- Sqlite ---- *)
+
+let sqlite_census () =
+  let sys = boot () in
+  let k = System.kernel sys in
+  let before = Census.collect ~root:(Kernel.root k) in
+  let _db = Sqlite.launch sys in
+  let d = Census.diff (Census.collect ~root:(Kernel.root k)) before in
+  (* Table 2 row B *)
+  check_int "cap groups" 1 d.Census.cap_groups;
+  check_int "threads" 4 d.Census.threads;
+  check_int "ipc" 3 d.Census.ipcs;
+  check_int "notifications" 0 d.Census.notifications;
+  check_int "pmos" 14 d.Census.pmos;
+  check_int "vmspaces" 1 d.Census.vmspaces
+
+let sqlite_mixed_ops () =
+  let sys = boot () in
+  let db = Sqlite.launch sys in
+  Sqlite.op_step db Sqlite.Insert 0;
+  Sqlite.op_step db Sqlite.Insert 0;
+  check_int "two rows" 2 (Sqlite.rows db);
+  Sqlite.op_step db Sqlite.Update 0;
+  check_int "update keeps rows" 2 (Sqlite.rows db);
+  Sqlite.op_step db Sqlite.Delete 0;
+  check_int "delete removes" 1 (Sqlite.rows db);
+  Sqlite.op_step db Sqlite.Read 1;
+  let rng = Rng.create 1L in
+  for _ = 1 to 200 do
+    Sqlite.step db rng
+  done;
+  check_bool "rows bounded" true (Sqlite.rows db >= 0)
+
+let sqlite_refresh () =
+  let sys = boot () in
+  let db = Sqlite.launch sys in
+  Sqlite.op_step db Sqlite.Insert 0;
+  ignore (System.checkpoint sys);
+  Sqlite.op_step db Sqlite.Insert 0;
+  let _ = System.crash_and_recover sys in
+  Sqlite.refresh db;
+  check_int "rolled back to one row" 1 (Sqlite.rows db)
+
+(* ---- Phoenix ---- *)
+
+let phoenix_census kind (dth, dipc, dnt, dpmo) () =
+  let sys = boot () in
+  let k = System.kernel sys in
+  let before = Census.collect ~root:(Kernel.root k) in
+  let _app = Phoenix.launch sys kind in
+  let d = Census.diff (Census.collect ~root:(Kernel.root k)) before in
+  check_int "threads" dth d.Census.threads;
+  check_int "ipc" dipc d.Census.ipcs;
+  check_int "notifications" dnt d.Census.notifications;
+  check_int "pmos" dpmo d.Census.pmos
+
+let phoenix_steps () =
+  let sys = boot () in
+  let rng = Rng.create 2L in
+  List.iter
+    (fun kind ->
+      let app = Phoenix.launch sys kind in
+      let t0 = System.now_ns sys in
+      for _ = 1 to 10 do
+        Phoenix.step app rng
+      done;
+      check_int (Phoenix.name app ^ " steps") 10 (Phoenix.progress app);
+      check_bool (Phoenix.name app ^ " advances time") true (System.now_ns sys > t0))
+    [ Phoenix.Wordcount; Phoenix.Kmeans; Phoenix.Pca ]
+
+let phoenix_wordcount_counts () =
+  let sys = boot () in
+  let rng = Rng.create 3L in
+  let app = Phoenix.launch sys Phoenix.Wordcount in
+  for _ = 1 to 50 do
+    Phoenix.step app rng
+  done;
+  (* survives a crash: word counts roll back to the checkpoint *)
+  ignore (System.checkpoint sys);
+  for _ = 1 to 10 do
+    Phoenix.step app rng
+  done;
+  let _ = System.crash_and_recover sys in
+  Phoenix.refresh app;
+  for _ = 1 to 5 do
+    Phoenix.step app rng
+  done;
+  check_bool "continues after recovery" true (Phoenix.progress app > 0)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "kvstore",
+        [
+          Alcotest.test_case "put/get" `Quick kv_put_get;
+          Alcotest.test_case "update in place" `Quick kv_update_in_place;
+          Alcotest.test_case "update grows" `Quick kv_update_grow;
+          Alcotest.test_case "grown update then delete (regression)" `Quick
+            kv_grown_update_then_delete;
+          Alcotest.test_case "delete" `Quick kv_delete;
+          Alcotest.test_case "hash collisions" `Quick kv_collisions;
+          Alcotest.test_case "region full" `Quick kv_full;
+          Alcotest.test_case "attach roundtrip" `Quick kv_attach_roundtrip;
+          Alcotest.test_case "persists across crash" `Quick kv_persists_across_crash;
+        ] );
+      ( "kv_app",
+        [
+          Alcotest.test_case "memcached census (Table 2 G)" `Quick
+            (app_census Kv_app.Memcached (2, 42, 19, 17, 154, 2));
+          Alcotest.test_case "redis census (Table 2 F)" `Quick
+            (app_census Kv_app.Redis (2, 77, 60, 6, 262, 2));
+          Alcotest.test_case "operations" `Quick app_ops;
+          Alcotest.test_case "refresh after crash" `Quick app_refresh_after_crash;
+        ] );
+      ( "lsm",
+        [
+          Alcotest.test_case "put/get" `Quick lsm_put_get;
+          Alcotest.test_case "flush threshold" `Quick lsm_flush_threshold;
+          Alcotest.test_case "wal flag" `Quick lsm_wal_flag;
+          Alcotest.test_case "leveldb census (Table 2 C)" `Quick lsm_census;
+          Alcotest.test_case "fillbatch" `Quick lsm_fillbatch;
+        ] );
+      ( "sqlite",
+        [
+          Alcotest.test_case "census (Table 2 B)" `Quick sqlite_census;
+          Alcotest.test_case "mixed operations" `Quick sqlite_mixed_ops;
+          Alcotest.test_case "refresh after crash" `Quick sqlite_refresh;
+        ] );
+      ( "phoenix",
+        [
+          Alcotest.test_case "wordcount census (Table 2 D)" `Quick
+            (phoenix_census Phoenix.Wordcount (12, 3, 8, 31));
+          Alcotest.test_case "kmeans census (Table 2 E)" `Quick
+            (phoenix_census Phoenix.Kmeans (12, 3, 9, 24));
+          Alcotest.test_case "steps advance" `Quick phoenix_steps;
+          Alcotest.test_case "wordcount crash/continue" `Quick phoenix_wordcount_counts;
+        ] );
+    ]

@@ -1,0 +1,138 @@
+(* Tests for the comparison-system simulators (Linux-WAL, Aurora). *)
+
+module Machine = Treesls_baselines.Machine
+module Linux_redis = Treesls_baselines.Linux_redis
+module Aurora = Treesls_baselines.Aurora
+module Ycsb = Treesls_workloads.Ycsb
+module Histogram = Treesls_util.Histogram
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- Machine ---- *)
+
+let machine_accounting () =
+  let m = Machine.create () in
+  Machine.charge m 1_000;
+  Machine.record m 1_000;
+  check_int "clock" 1_000 (Machine.now m);
+  check_int "ops" 1 (Machine.ops m);
+  Alcotest.(check (float 1e-6)) "elapsed" 1e-6 (Machine.elapsed_s m);
+  Machine.reset_measurement m;
+  check_int "ops reset" 0 (Machine.ops m);
+  Alcotest.(check (float 1e-9)) "window reset" 0.0 (Machine.elapsed_s m)
+
+let machine_throughput () =
+  let m = Machine.create () in
+  for _ = 1 to 1000 do
+    Machine.charge m 1_000;
+    Machine.record m 1_000
+  done;
+  (* 1000 ops in 1 ms = 1 Mops/s = 1000 Kops *)
+  Alcotest.(check (float 1.0)) "throughput" 1000.0 (Machine.throughput_kops m)
+
+(* ---- Linux Redis ---- *)
+
+let run_linux mode workload n =
+  let lx = Linux_redis.create mode in
+  Linux_redis.load lx ~keys:1_000 ~value_size:100;
+  let rng = Treesls_util.Rng.create 20L in
+  let gen = Ycsb.create workload ~keys:1_000 rng in
+  Machine.reset_measurement (Linux_redis.machine lx);
+  for _ = 1 to n do
+    Linux_redis.do_op lx ~value_size:100 (Ycsb.next gen)
+  done;
+  Machine.throughput_kops (Linux_redis.machine lx)
+
+let linux_wal_slower_on_writes () =
+  let base = run_linux Linux_redis.Base Ycsb.Update_only 5_000 in
+  let wal = run_linux Linux_redis.Wal Ycsb.Update_only 5_000 in
+  check_bool "wal slower" true (wal < base);
+  (* the paper reports a 64-78% drop *)
+  let drop = 1.0 -. (wal /. base) in
+  check_bool "drop in the paper's band" true (drop > 0.55 && drop < 0.85)
+
+let linux_wal_free_on_reads () =
+  let base = run_linux Linux_redis.Base Ycsb.C 5_000 in
+  let wal = run_linux Linux_redis.Wal Ycsb.C 5_000 in
+  Alcotest.(check (float 1.0)) "reads unaffected by WAL" base wal
+
+(* ---- Aurora ---- *)
+
+let fill_aurora a n =
+  for i = 0 to n - 1 do
+    Aurora.put a ~key:(Printf.sprintf "k%06d" i) ~value:"value"
+  done
+
+let aurora_get_put () =
+  let a = Aurora.create Aurora.Base in
+  Aurora.put a ~key:"x" ~value:"1";
+  Alcotest.(check (option string)) "get" (Some "1") (Aurora.get a ~key:"x");
+  Alcotest.(check (option string)) "missing" None (Aurora.get a ~key:"nope")
+
+let aurora_ckpt_floor () =
+  (* a 1ms interval cannot be honoured: flushes take >= 5ms *)
+  let a = Aurora.create (Aurora.Ckpt 1_000_000) in
+  fill_aurora a 60_000;
+  check_bool "checkpoints happened" true (Aurora.checkpoints a > 1);
+  check_bool "effective interval floored at flush time" true
+    (Aurora.avg_effective_interval_ns a >= 5_000_000)
+
+let aurora_ckpt_interval_respected () =
+  let a = Aurora.create (Aurora.Ckpt 20_000_000) in
+  fill_aurora a 60_000;
+  check_bool "some checkpoints" true (Aurora.checkpoints a >= 2);
+  check_bool "interval >= configured" true (Aurora.avg_effective_interval_ns a >= 20_000_000)
+
+let aurora_mode_ordering () =
+  let tput mode =
+    let a = Aurora.create mode in
+    fill_aurora a 2_000;
+    Machine.reset_measurement (Aurora.machine a);
+    fill_aurora a 20_000;
+    Machine.throughput_kops (Aurora.machine a)
+  in
+  let base = tput Aurora.Base in
+  let ckpt = tput (Aurora.Ckpt 5_000_000) in
+  let api = tput Aurora.Api in
+  let wal = tput Aurora.Base_wal in
+  check_bool "ckpt <= base" true (ckpt <= base);
+  check_bool "api well below base" true (api < base *. 0.5);
+  check_bool "wal well below base" true (wal < base *. 0.5)
+
+let aurora_api_barrier_in_tail () =
+  let a = Aurora.create Aurora.Api in
+  let h = Histogram.create () in
+  let m = Aurora.machine a in
+  for i = 0 to 2_000 do
+    let t0 = Machine.now m in
+    Aurora.put a ~key:(string_of_int i) ~value:"v";
+    Histogram.add h (Machine.now m - t0)
+  done;
+  (* the periodic device barrier must be visible at P99.5 but not P50 *)
+  check_bool "p50 cheap" true (Histogram.percentile h 50.0 < 10_000);
+  check_bool "tail sees barrier" true (Histogram.percentile h 99.5 > 100_000)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "accounting" `Quick machine_accounting;
+          Alcotest.test_case "throughput" `Quick machine_throughput;
+        ] );
+      ( "linux",
+        [
+          Alcotest.test_case "WAL slower on writes" `Quick linux_wal_slower_on_writes;
+          Alcotest.test_case "WAL free on reads" `Quick linux_wal_free_on_reads;
+        ] );
+      ( "aurora",
+        [
+          Alcotest.test_case "get/put" `Quick aurora_get_put;
+          Alcotest.test_case "checkpoint frequency floor" `Quick aurora_ckpt_floor;
+          Alcotest.test_case "interval respected when above floor" `Quick
+            aurora_ckpt_interval_respected;
+          Alcotest.test_case "mode throughput ordering" `Quick aurora_mode_ordering;
+          Alcotest.test_case "API barrier in the tail" `Quick aurora_api_barrier_in_tail;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+(* Tests for external synchrony: the persistent ring buffer and the
+   delayed-visibility network server (§5, Figure 8). *)
+
+module System = Treesls.System
+module Kernel = Treesls_kernel.Kernel
+module Manager = Treesls_ckpt.Manager
+module Ring = Treesls_extsync.Ring
+module Net_server = Treesls_extsync.Net_server
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let boot_with_proc () =
+  let sys = System.boot () in
+  let k = System.kernel sys in
+  let proc = Option.get (Kernel.find_process k ~name:"netdrv") in
+  (sys, k, proc)
+
+(* ---- Ring ---- *)
+
+let ring_basic_flow () =
+  let _, k, proc = boot_with_proc () in
+  let r = Ring.create k proc ~name:"t" ~slots:4 ~slot_size:64 in
+  check_bool "append" true (Ring.append r (Bytes.of_string "m1"));
+  check_int "not yet visible" 0 (Ring.visible_count r);
+  check_int "unpublished" 1 (Ring.unpublished_count r);
+  check_bool "pop before publish" true (Ring.pop_visible r = None);
+  Ring.on_checkpoint r;
+  check_int "visible" 1 (Ring.visible_count r);
+  (match Ring.pop_visible r with
+  | Some m -> Alcotest.(check string) "content" "m1" (Bytes.to_string m)
+  | None -> Alcotest.fail "nothing visible");
+  check_int "drained" 0 (Ring.visible_count r)
+
+let ring_fifo_order () =
+  let _, k, proc = boot_with_proc () in
+  let r = Ring.create k proc ~name:"t" ~slots:8 ~slot_size:64 in
+  List.iter (fun m -> ignore (Ring.append r (Bytes.of_string m))) [ "a"; "b"; "c" ];
+  Ring.on_checkpoint r;
+  let pop () = Bytes.to_string (Option.get (Ring.pop_visible r)) in
+  (* evaluation order of list elements is unspecified: sequence explicitly *)
+  let x = pop () in
+  let y = pop () in
+  let z = pop () in
+  Alcotest.(check (list string)) "fifo" [ "a"; "b"; "c" ] [ x; y; z ]
+
+let ring_full () =
+  let _, k, proc = boot_with_proc () in
+  let r = Ring.create k proc ~name:"t" ~slots:2 ~slot_size:64 in
+  check_bool "1" true (Ring.append r (Bytes.of_string "x"));
+  check_bool "2" true (Ring.append r (Bytes.of_string "y"));
+  check_bool "full" false (Ring.append r (Bytes.of_string "z"));
+  Ring.on_checkpoint r;
+  ignore (Ring.pop_visible r);
+  check_bool "slot reclaimed" true (Ring.append r (Bytes.of_string "z"))
+
+let ring_wraparound () =
+  let _, k, proc = boot_with_proc () in
+  let r = Ring.create k proc ~name:"t" ~slots:3 ~slot_size:64 in
+  for round = 0 to 9 do
+    let m = Printf.sprintf "r%d" round in
+    check_bool "append" true (Ring.append r (Bytes.of_string m));
+    Ring.on_checkpoint r;
+    match Ring.pop_visible r with
+    | Some got -> Alcotest.(check string) "wrap content" m (Bytes.to_string got)
+    | None -> Alcotest.fail "missing"
+  done
+
+let ring_restore_discards_unpublished () =
+  let _, k, proc = boot_with_proc () in
+  let r = Ring.create k proc ~name:"t" ~slots:8 ~slot_size:64 in
+  ignore (Ring.append r (Bytes.of_string "published"));
+  Ring.on_checkpoint r;
+  ignore (Ring.append r (Bytes.of_string "inflight"));
+  Ring.on_restore r;
+  check_int "unpublished dropped" 0 (Ring.unpublished_count r);
+  (match Ring.pop_visible r with
+  | Some m -> Alcotest.(check string) "published survives" "published" (Bytes.to_string m)
+  | None -> Alcotest.fail "published lost");
+  check_bool "nothing else" true (Ring.pop_visible r = None)
+
+let ring_message_too_large () =
+  let _, k, proc = boot_with_proc () in
+  let r = Ring.create k proc ~name:"t" ~slots:2 ~slot_size:32 in
+  Alcotest.check_raises "too large" (Invalid_argument "Ring.append: message too large")
+    (fun () -> ignore (Ring.append r (Bytes.make 40 'x')))
+
+let ring_survives_crash () =
+  let sys, k, proc = boot_with_proc () in
+  let r = Ring.create k proc ~name:"t" ~slots:8 ~slot_size:64 in
+  ignore (Ring.append r (Bytes.of_string "keep"));
+  Ring.on_checkpoint r;
+  ignore (System.checkpoint sys);
+  ignore (Ring.append r (Bytes.of_string "drop"));
+  let _ = System.crash_and_recover sys in
+  let k = System.kernel sys in
+  let proc = Option.get (Kernel.find_process k ~name:"netdrv") in
+  let r2 = Ring.reattach k proc ~name:"t" ~slots:8 ~slot_size:64 in
+  Ring.on_restore r2;
+  (match Ring.pop_visible r2 with
+  | Some m -> Alcotest.(check string) "published message persisted" "keep" (Bytes.to_string m)
+  | None -> Alcotest.fail "lost across crash");
+  check_int "in-flight discarded" 0 (Ring.unpublished_count r2)
+
+(* ---- Net server ---- *)
+
+let net_delivery_at_commit () =
+  let sys, k, proc = boot_with_proc () in
+  let delivered = ref [] in
+  let net =
+    Net_server.create k (System.manager sys) ~proc ~deliver:(fun ~client ~sent_ns:_ ~payload ->
+        delivered := (client, Bytes.to_string payload) :: !delivered)
+  in
+  check_bool "send ok" true (Net_server.send net ~client:7 (Bytes.of_string "hi"));
+  check_int "nothing before commit" 0 (List.length !delivered);
+  check_int "pending" 1 (Net_server.pending net);
+  ignore (System.checkpoint sys);
+  Alcotest.(check (list (pair int string))) "delivered at commit" [ (7, "hi") ] !delivered;
+  check_int "delivered counter" 1 (Net_server.delivered net)
+
+let net_crash_discards_unpublished () =
+  let sys, k, proc = boot_with_proc () in
+  let count = ref 0 in
+  let net =
+    Net_server.create k (System.manager sys) ~proc ~deliver:(fun ~client:_ ~sent_ns:_ ~payload:_ ->
+        incr count)
+  in
+  ignore net;
+  ignore (System.checkpoint sys);
+  ignore (Net_server.send net ~client:1 (Bytes.of_string "never"));
+  System.crash sys;
+  let _ = System.recover sys in
+  let k = System.kernel sys in
+  let proc = Option.get (Kernel.find_process k ~name:"netdrv") in
+  let net2 =
+    Net_server.reattach k (System.manager sys) ~proc ~deliver:(fun ~client:_ ~sent_ns:_ ~payload:_ ->
+        incr count)
+  in
+  ignore (System.checkpoint sys);
+  check_int "nothing ever delivered" 0 !count;
+  check_int "ring empty" 0 (Net_server.pending net2)
+
+(* The central external-synchrony guarantee: a reply is only ever released
+   for state that survives any subsequent crash. *)
+let net_no_reply_for_lost_state () =
+  let sys, k, proc = boot_with_proc () in
+  let app = Treesls_apps.Kv_app.launch ~keys_hint:1_000 sys Treesls_apps.Kv_app.Memcached in
+  let released = ref [] in
+  let net =
+    Net_server.create k (System.manager sys) ~proc ~deliver:(fun ~client:_ ~sent_ns:_ ~payload ->
+        released := Bytes.to_string payload :: !released)
+  in
+  (* op 1: set + queue reply; checkpoint commits both *)
+  Treesls_apps.Kv_app.set app ~key:"alpha" ~value:"1";
+  ignore (Net_server.send net ~client:0 (Bytes.of_string "alpha"));
+  ignore (System.checkpoint sys);
+  (* op 2: set + queue reply; CRASH before the next checkpoint *)
+  Treesls_apps.Kv_app.set app ~key:"beta" ~value:"2";
+  ignore (Net_server.send net ~client:0 (Bytes.of_string "beta"));
+  System.crash sys;
+  let _ = System.recover sys in
+  Treesls_apps.Kv_app.refresh app;
+  (* every released reply must refer to state present after recovery *)
+  List.iter
+    (fun key ->
+      check_bool (key ^ " present") true (Treesls_apps.Kv_app.get app ~key <> None))
+    !released;
+  (* and beta was never released *)
+  check_bool "beta not released" false (List.mem "beta" !released);
+  check_bool "beta rolled back" true (Treesls_apps.Kv_app.get app ~key:"beta" = None)
+
+let () =
+  Alcotest.run "extsync"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "basic flow" `Quick ring_basic_flow;
+          Alcotest.test_case "fifo order" `Quick ring_fifo_order;
+          Alcotest.test_case "full ring" `Quick ring_full;
+          Alcotest.test_case "wraparound" `Quick ring_wraparound;
+          Alcotest.test_case "restore discards unpublished" `Quick
+            ring_restore_discards_unpublished;
+          Alcotest.test_case "oversized message" `Quick ring_message_too_large;
+          Alcotest.test_case "survives crash" `Quick ring_survives_crash;
+        ] );
+      ( "net-server",
+        [
+          Alcotest.test_case "delivery at commit" `Quick net_delivery_at_commit;
+          Alcotest.test_case "crash discards unpublished" `Quick net_crash_discards_unpublished;
+          Alcotest.test_case "no reply for lost state" `Quick net_no_reply_for_lost_state;
+        ] );
+    ]

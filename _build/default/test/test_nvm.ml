@@ -1,0 +1,563 @@
+(* Tests for the NVM substrate: devices, journaled word area, buddy and
+   slab allocators, and the store — including crash injection at every
+   journal phase. *)
+
+module Paddr = Treesls_nvm.Paddr
+module Device = Treesls_nvm.Device
+module Warea = Treesls_nvm.Warea
+module Txn = Treesls_nvm.Txn
+module Buddy = Treesls_nvm.Buddy
+module Slab = Treesls_nvm.Slab
+module Store = Treesls_nvm.Store
+module Global_meta = Treesls_nvm.Global_meta
+module Clock = Treesls_sim.Clock
+module Rng = Treesls_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- Paddr ---- *)
+
+let paddr_basics () =
+  let a = Paddr.nvm 3 and b = Paddr.dram 3 in
+  check_bool "nvm" true (Paddr.is_nvm a);
+  check_bool "dram" true (Paddr.is_dram b);
+  check_bool "distinct devices" false (Paddr.equal a b);
+  check_bool "ordering nvm < dram" true (Paddr.compare a b < 0);
+  Alcotest.(check string) "to_string" "nvm:3" (Paddr.to_string a)
+
+(* ---- Device ---- *)
+
+let device_rw () =
+  let d = Device.create ~kind:Paddr.Nvm ~pages:8 ~page_size:128 in
+  Device.write d 2 ~off:10 (Bytes.of_string "hello");
+  Alcotest.(check string) "read back" "hello" (Bytes.to_string (Device.read d 2 ~off:10 ~len:5))
+
+let device_lazy () =
+  let d = Device.create ~kind:Paddr.Nvm ~pages:100 ~page_size:64 in
+  check_int "untouched" 0 (Device.touched d);
+  ignore (Device.page d 5);
+  check_int "one page materialised" 1 (Device.touched d)
+
+let device_crash_semantics () =
+  let nvm = Device.create ~kind:Paddr.Nvm ~pages:4 ~page_size:64 in
+  let dram = Device.create ~kind:Paddr.Dram ~pages:4 ~page_size:64 in
+  Device.write nvm 0 ~off:0 (Bytes.of_string "keep");
+  Device.write dram 0 ~off:0 (Bytes.of_string "lose");
+  Device.crash nvm;
+  Device.crash dram;
+  Alcotest.(check string) "nvm survives" "keep" (Bytes.to_string (Device.read nvm 0 ~off:0 ~len:4));
+  Alcotest.(check string) "dram wiped" "\000\000\000\000"
+    (Bytes.to_string (Device.read dram 0 ~off:0 ~len:4))
+
+let device_copy () =
+  let a = Device.create ~kind:Paddr.Nvm ~pages:2 ~page_size:32 in
+  let b = Device.create ~kind:Paddr.Dram ~pages:2 ~page_size:32 in
+  Device.write a 0 ~off:0 (Bytes.of_string "xy");
+  Device.copy_page ~src:a ~src_idx:0 ~dst:b ~dst_idx:1;
+  Alcotest.(check string) "copied" "xy" (Bytes.to_string (Device.read b 1 ~off:0 ~len:2))
+
+let device_zero () =
+  let d = Device.create ~kind:Paddr.Nvm ~pages:2 ~page_size:16 in
+  Device.write d 0 ~off:0 (Bytes.of_string "abc");
+  Device.zero_page d 0;
+  Alcotest.(check string) "zeroed" "\000\000\000"
+    (Bytes.to_string (Device.read d 0 ~off:0 ~len:3))
+
+(* ---- Warea ---- *)
+
+let warea_commit_read () =
+  let w = Warea.create ~words:16 in
+  Warea.commit w ~desc:"t" [ (0, 42); (3, 7) ];
+  check_int "word 0" 42 (Warea.read w 0);
+  check_int "word 3" 7 (Warea.read w 3);
+  check_int "commits" 1 (Warea.commits w);
+  check_int "words written" 2 (Warea.words_written w)
+
+let warea_duplicate_index () =
+  let w = Warea.create ~words:4 in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Warea.commit: duplicate index")
+    (fun () -> Warea.commit w ~desc:"d" [ (1, 1); (1, 2) ])
+
+let warea_crash_atomicity phase expect_applied () =
+  let w = Warea.create ~words:8 in
+  Warea.commit w ~desc:"init" [ (0, 1); (1, 1) ];
+  Warea.set_crash_plan w (Some phase);
+  (try
+     Warea.commit w ~desc:"update" [ (0, 2); (1, 2) ];
+     Alcotest.fail "expected crash"
+   with Warea.Crashed _ -> ());
+  Warea.recover w;
+  check_bool "no in-flight record" false (Warea.in_flight w);
+  let expected = if expect_applied then 2 else 1 in
+  check_int "word0 atomic" expected (Warea.read w 0);
+  check_int "word1 atomic" expected (Warea.read w 1);
+  (* both words always agree: no torn state *)
+  check_int "no tearing" (Warea.read w 0) (Warea.read w 1)
+
+let warea_recover_idempotent () =
+  let w = Warea.create ~words:4 in
+  Warea.set_crash_plan w (Some Warea.Mid_apply);
+  (try Warea.commit w ~desc:"x" [ (0, 9); (1, 9) ] with Warea.Crashed _ -> ());
+  Warea.recover w;
+  Warea.recover w;
+  check_int "applied" 9 (Warea.read w 0)
+
+(* ---- Txn ---- *)
+
+let txn_read_through () =
+  let w = Warea.create ~words:8 in
+  Warea.commit w ~desc:"i" [ (2, 5) ];
+  let t = Txn.create w in
+  check_int "reads durable" 5 (Txn.read t 2);
+  Txn.write t 2 6;
+  check_int "reads pending" 6 (Txn.read t 2);
+  check_int "durable unchanged" 5 (Warea.read w 2);
+  Txn.commit t ~desc:"c";
+  check_int "now durable" 6 (Warea.read w 2)
+
+let txn_empty_commit () =
+  let w = Warea.create ~words:4 in
+  let t = Txn.create w in
+  Txn.commit t ~desc:"empty";
+  check_int "no commit recorded" 0 (Warea.commits w)
+
+let txn_rewrite_single_entry () =
+  let w = Warea.create ~words:4 in
+  let t = Txn.create w in
+  Txn.write t 1 10;
+  Txn.write t 1 20;
+  check_int "pending count" 1 (Txn.pending t);
+  Txn.commit t ~desc:"c";
+  check_int "last wins" 20 (Warea.read w 1)
+
+(* ---- Buddy ---- *)
+
+let mk_buddy pages =
+  let w = Warea.create ~words:(Buddy.words_needed ~total_pages:pages) in
+  (w, Buddy.format w ~base:0 ~total_pages:pages)
+
+let buddy_basics () =
+  let _, b = mk_buddy 16 in
+  check_int "all free" 16 (Buddy.free_pages b);
+  let p0 = Option.get (Buddy.alloc b ~order:0) in
+  check_int "free after alloc" 15 (Buddy.free_pages b);
+  Buddy.free b ~offset:p0;
+  check_int "free after free" 16 (Buddy.free_pages b);
+  Buddy.check_invariants b
+
+let buddy_orders () =
+  let _, b = mk_buddy 16 in
+  let p = Option.get (Buddy.alloc b ~order:2) in
+  check_int "aligned to order" 0 (p mod 4);
+  check_int "free count" 12 (Buddy.free_pages b);
+  Alcotest.(check (option int)) "order recorded" (Some 2) (Buddy.order_of b ~offset:p);
+  Buddy.check_invariants b;
+  Buddy.free b ~offset:p;
+  Buddy.check_invariants b
+
+let buddy_exhaustion () =
+  let _, b = mk_buddy 4 in
+  let a1 = Buddy.alloc b ~order:1 and a2 = Buddy.alloc b ~order:1 in
+  check_bool "both succeed" true (a1 <> None && a2 <> None);
+  check_bool "exhausted" true (Buddy.alloc b ~order:0 = None);
+  Buddy.free b ~offset:(Option.get a1);
+  check_bool "after free, fits" true (Buddy.alloc b ~order:1 <> None)
+
+let buddy_merge () =
+  let _, b = mk_buddy 8 in
+  let ps = List.init 8 (fun _ -> Option.get (Buddy.alloc b ~order:0)) in
+  check_bool "full" true (Buddy.alloc b ~order:0 = None);
+  List.iter (fun p -> Buddy.free b ~offset:p) ps;
+  (* all buddies must have merged back into one max block *)
+  check_bool "whole region mergeable" true (Buddy.alloc b ~order:3 <> None);
+  Buddy.check_invariants b
+
+let buddy_double_free () =
+  let _, b = mk_buddy 4 in
+  let p = Option.get (Buddy.alloc b ~order:0) in
+  Buddy.free b ~offset:p;
+  Alcotest.check_raises "double free" (Invalid_argument "Buddy.free: not a live allocation")
+    (fun () -> Buddy.free b ~offset:p)
+
+let buddy_bad_order () =
+  let _, b = mk_buddy 4 in
+  Alcotest.check_raises "too large" (Invalid_argument "Buddy.alloc: bad order") (fun () ->
+      ignore (Buddy.alloc b ~order:5))
+
+let buddy_crash_during_alloc phase () =
+  let w, b = mk_buddy 16 in
+  ignore (Option.get (Buddy.alloc b ~order:0));
+  let free_before = Buddy.free_pages b in
+  Warea.set_crash_plan w (Some phase);
+  (try ignore (Buddy.alloc b ~order:1)
+   with Warea.Crashed _ -> ());
+  Warea.recover w;
+  Buddy.check_invariants b;
+  let free_after = Buddy.free_pages b in
+  check_bool "atomic: all-or-nothing" true
+    (free_after = free_before || free_after = free_before - 2)
+
+let buddy_random_ops () =
+  let w, b = mk_buddy 64 in
+  ignore w;
+  let rng = Rng.create 77L in
+  let live = ref [] in
+  for _ = 1 to 2_000 do
+    if Rng.bool rng && List.length !live < 40 then begin
+      let order = Rng.int rng 3 in
+      match Buddy.alloc b ~order with
+      | Some p -> live := p :: !live
+      | None -> ()
+    end
+    else
+      match !live with
+      | [] -> ()
+      | p :: rest ->
+        Buddy.free b ~offset:p;
+        live := rest
+  done;
+  Buddy.check_invariants b
+
+(* ---- Slab ---- *)
+
+let mk_slab () =
+  let pages = 64 in
+  let bw = Buddy.words_needed ~total_pages:pages in
+  let sw = Slab.words_needed ~max_slabs_per_class:8 in
+  let w = Warea.create ~words:(bw + sw) in
+  let b = Buddy.format w ~base:0 ~total_pages:pages in
+  let s = Slab.format w ~base:bw ~buddy:b ~page_size:4096 ~max_slabs_per_class:8 in
+  (w, b, s)
+
+let slab_class_of_size () =
+  Alcotest.(check (option int)) "32" (Some 0) (Slab.class_of_size 1);
+  Alcotest.(check (option int)) "exact" (Some 0) (Slab.class_of_size 32);
+  Alcotest.(check (option int)) "rounds up" (Some 1) (Slab.class_of_size 33);
+  Alcotest.(check (option int)) "largest" (Some 6) (Slab.class_of_size 2048);
+  Alcotest.(check (option int)) "too big" None (Slab.class_of_size 4096)
+
+let slab_alloc_free () =
+  let _, b, s = mk_slab () in
+  let h = Option.get (Slab.alloc s ~size:100) in
+  check_int "live" 1 (Slab.live s);
+  check_int "class" 2 h.Slab.cls;
+  check_bool "page taken from buddy" true (Buddy.free_pages b < 64);
+  Slab.check_invariants s;
+  Slab.free s h;
+  check_int "live after free" 0 (Slab.live s);
+  check_int "page returned" 64 (Buddy.free_pages b);
+  Slab.check_invariants s
+
+let slab_fills_slab_before_growing () =
+  let _, b, s = mk_slab () in
+  let h1 = Option.get (Slab.alloc s ~size:2048) in
+  let h2 = Option.get (Slab.alloc s ~size:2048) in
+  check_int "same slab" h1.Slab.slot h2.Slab.slot;
+  check_int "one page used" 63 (Buddy.free_pages b);
+  let h3 = Option.get (Slab.alloc s ~size:2048) in
+  check_bool "grew a slab" true (h3.Slab.slot <> h1.Slab.slot);
+  check_int "two pages used" 62 (Buddy.free_pages b)
+
+let slab_double_free () =
+  let _, _, s = mk_slab () in
+  let h = Option.get (Slab.alloc s ~size:64) in
+  Slab.free s h;
+  Alcotest.check_raises "double free" (Invalid_argument "Slab.free: slab slot not in use")
+    (fun () -> Slab.free s h)
+
+let slab_crash_during_grow phase () =
+  let w, b, s = mk_slab () in
+  let free0 = Buddy.free_pages b in
+  Warea.set_crash_plan w (Some phase);
+  (try ignore (Slab.alloc s ~size:64) with Warea.Crashed _ -> ());
+  Warea.recover w;
+  Buddy.check_invariants b;
+  Slab.check_invariants s;
+  (* no leak: either the whole grow happened (page used, object live) or
+     none of it did *)
+  let free1 = Buddy.free_pages b in
+  if free1 = free0 then check_int "nothing allocated" 0 (Slab.live s)
+  else begin
+    check_int "one page" (free0 - 1) free1;
+    check_int "one object" 1 (Slab.live s)
+  end
+
+let slab_live_in_class () =
+  let _, _, s = mk_slab () in
+  ignore (Option.get (Slab.alloc s ~size:32));
+  ignore (Option.get (Slab.alloc s ~size:32));
+  ignore (Option.get (Slab.alloc s ~size:512));
+  check_int "class 0" 2 (Slab.live_in_class s 0);
+  check_int "class 4" 1 (Slab.live_in_class s 4);
+  check_int "total" 3 (Slab.live s)
+
+let slab_random_ops () =
+  let _, b, s = mk_slab () in
+  let rng = Rng.create 88L in
+  let live = ref [] in
+  for _ = 1 to 2_000 do
+    if Rng.bool rng && List.length !live < 100 then begin
+      let size = 1 + Rng.int rng 2048 in
+      match Slab.alloc s ~size with
+      | Some h -> live := h :: !live
+      | None -> ()
+    end
+    else
+      match !live with
+      | [] -> ()
+      | h :: rest ->
+        Slab.free s h;
+        live := rest
+  done;
+  Slab.check_invariants s;
+  Buddy.check_invariants b
+
+(* ---- Global_meta ---- *)
+
+let meta_commit_protocol () =
+  let m = Global_meta.create () in
+  check_int "initial version" 0 (Global_meta.version m);
+  Global_meta.begin_checkpoint m;
+  check_bool "in progress" true (Global_meta.status m = Global_meta.In_progress);
+  Global_meta.commit_checkpoint m;
+  check_int "bumped" 1 (Global_meta.version m);
+  check_bool "idle" true (Global_meta.status m = Global_meta.Idle);
+  Global_meta.begin_checkpoint m;
+  Global_meta.abort_in_flight m;
+  check_int "abort keeps version" 1 (Global_meta.version m)
+
+(* ---- Store ---- *)
+
+let mk_store () =
+  Store.create ~clock:(Clock.create ()) ~nvm_pages:64 ~dram_pages:8 ()
+
+let store_pages () =
+  let s = mk_store () in
+  let p = Store.alloc_page s in
+  check_bool "on nvm" true (Paddr.is_nvm p);
+  check_int "free" 63 (Store.nvm_pages_free s);
+  Store.free_page s p;
+  check_int "freed" 64 (Store.nvm_pages_free s)
+
+let store_charges_time () =
+  let s = mk_store () in
+  let t0 = Clock.now (Store.clock s) in
+  ignore (Store.alloc_page s);
+  check_bool "time advanced" true (Clock.now (Store.clock s) > t0)
+
+let store_sink_redirect () =
+  let s = mk_store () in
+  let meter = ref 0 in
+  let t0 = Clock.now (Store.clock s) in
+  Store.with_sink s (Store.Meter meter) (fun () -> ignore (Store.alloc_page s));
+  check_int "clock untouched" t0 (Clock.now (Store.clock s));
+  check_bool "meter charged" true (!meter > 0);
+  (* sink restored *)
+  ignore (Store.alloc_page s);
+  check_bool "clock charged after" true (Clock.now (Store.clock s) > t0)
+
+let store_dram_exhaustion () =
+  let s = mk_store () in
+  let taken = ref [] in
+  let rec drain () =
+    match Store.alloc_dram_page s with
+    | Some p ->
+      taken := p :: !taken;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check_int "all 8 taken" 8 (List.length !taken);
+  Store.free_dram_page s (List.hd !taken);
+  check_bool "one available again" true (Store.alloc_dram_page s <> None)
+
+let store_page_io () =
+  let s = mk_store () in
+  let p = Store.alloc_page s in
+  Store.write_page s p ~off:100 (Bytes.of_string "data!");
+  Alcotest.(check string) "roundtrip" "data!"
+    (Bytes.to_string (Store.read_page s p ~off:100 ~len:5));
+  let q = Store.alloc_page s in
+  Store.copy_page s ~src:p ~dst:q;
+  Alcotest.(check string) "copy" "data!" (Bytes.to_string (Store.read_page s q ~off:100 ~len:5))
+
+let store_objects () =
+  let s = mk_store () in
+  let h = Store.alloc_obj s ~size:128 in
+  check_int "live" 1 (Store.live_objects s);
+  Store.free_obj s h;
+  check_int "live after free" 0 (Store.live_objects s)
+
+let store_crash_recover () =
+  let s = mk_store () in
+  let p = Store.alloc_page s in
+  Store.write_page s p ~off:0 (Bytes.of_string "nvm");
+  let d = Option.get (Store.alloc_dram_page s) in
+  Store.write_page s d ~off:0 (Bytes.of_string "dram");
+  Store.crash s;
+  Store.recover s;
+  Alcotest.(check string) "nvm content survives" "nvm"
+    (Bytes.to_string (Store.read_page s p ~off:0 ~len:3));
+  check_int "dram allocator reset" 8 (Store.dram_pages_free s);
+  Alcotest.(check string) "dram content lost" "\000\000\000\000"
+    (Bytes.to_string (Store.read_page s d ~off:0 ~len:4))
+
+(* ---- qcheck: journaled allocator atomicity under random crashes ---- *)
+
+let prop_buddy_crash_consistency =
+  QCheck.Test.make ~name:"buddy: invariants after crash at any phase" ~count:100
+    QCheck.(pair (int_bound 3) (int_bound 1000))
+    (fun (phase_i, seed) ->
+      let phase =
+        match phase_i with
+        | 0 -> Warea.Before_log
+        | 1 -> Warea.After_log
+        | 2 -> Warea.Mid_apply
+        | _ -> Warea.After_apply
+      in
+      let w, b = mk_buddy 32 in
+      let rng = Rng.create (Int64.of_int seed) in
+      let live = ref [] in
+      (* random warm-up ops *)
+      for _ = 1 to 20 do
+        if Rng.bool rng then (
+          match Buddy.alloc b ~order:(Rng.int rng 3) with
+          | Some p -> live := p :: !live
+          | None -> ())
+        else
+          match !live with
+          | p :: rest ->
+            Buddy.free b ~offset:p;
+            live := rest
+          | [] -> ()
+      done;
+      Warea.set_crash_plan w (Some phase);
+      (try
+         if Rng.bool rng then ignore (Buddy.alloc b ~order:(Rng.int rng 2))
+         else
+           match !live with
+           | p :: _ -> Buddy.free b ~offset:p
+           | [] -> ignore (Buddy.alloc b ~order:0)
+       with Warea.Crashed _ -> ());
+      Warea.set_crash_plan w None;
+      Warea.recover w;
+      Buddy.check_invariants b;
+      true)
+
+let prop_slab_crash_consistency =
+  QCheck.Test.make ~name:"slab: invariants after crash at any phase" ~count:100
+    QCheck.(pair (int_bound 3) (int_bound 1000))
+    (fun (phase_i, seed) ->
+      let phase =
+        match phase_i with
+        | 0 -> Warea.Before_log
+        | 1 -> Warea.After_log
+        | 2 -> Warea.Mid_apply
+        | _ -> Warea.After_apply
+      in
+      let w, b, s = mk_slab () in
+      let rng = Rng.create (Int64.of_int seed) in
+      let live = ref [] in
+      for _ = 1 to 30 do
+        if Rng.bool rng then (
+          match Slab.alloc s ~size:(1 + Rng.int rng 2048) with
+          | Some h -> live := h :: !live
+          | None -> ())
+        else
+          match !live with
+          | h :: rest ->
+            Slab.free s h;
+            live := rest
+          | [] -> ()
+      done;
+      Warea.set_crash_plan w (Some phase);
+      (try
+         if Rng.bool rng then ignore (Slab.alloc s ~size:(1 + Rng.int rng 2048))
+         else
+           match !live with
+           | h :: _ -> Slab.free s h
+           | [] -> ignore (Slab.alloc s ~size:64)
+       with Warea.Crashed _ -> ());
+      Warea.set_crash_plan w None;
+      Warea.recover w;
+      Slab.check_invariants s;
+      Buddy.check_invariants b;
+      true)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_buddy_crash_consistency; prop_slab_crash_consistency ]
+
+let () =
+  Alcotest.run "nvm"
+    [
+      ("paddr", [ Alcotest.test_case "basics" `Quick paddr_basics ]);
+      ( "device",
+        [
+          Alcotest.test_case "read/write" `Quick device_rw;
+          Alcotest.test_case "lazy materialisation" `Quick device_lazy;
+          Alcotest.test_case "crash semantics" `Quick device_crash_semantics;
+          Alcotest.test_case "cross-device copy" `Quick device_copy;
+          Alcotest.test_case "zero page" `Quick device_zero;
+        ] );
+      ( "warea",
+        [
+          Alcotest.test_case "commit and read" `Quick warea_commit_read;
+          Alcotest.test_case "duplicate index rejected" `Quick warea_duplicate_index;
+          Alcotest.test_case "crash before-log rolls back" `Quick
+            (warea_crash_atomicity Warea.Before_log false);
+          Alcotest.test_case "crash after-log rolls forward" `Quick
+            (warea_crash_atomicity Warea.After_log true);
+          Alcotest.test_case "crash mid-apply rolls forward" `Quick
+            (warea_crash_atomicity Warea.Mid_apply true);
+          Alcotest.test_case "crash after-apply rolls forward" `Quick
+            (warea_crash_atomicity Warea.After_apply true);
+          Alcotest.test_case "recover idempotent" `Quick warea_recover_idempotent;
+        ] );
+      ( "txn",
+        [
+          Alcotest.test_case "read-through" `Quick txn_read_through;
+          Alcotest.test_case "empty commit" `Quick txn_empty_commit;
+          Alcotest.test_case "rewrite keeps single entry" `Quick txn_rewrite_single_entry;
+        ] );
+      ( "buddy",
+        [
+          Alcotest.test_case "alloc/free roundtrip" `Quick buddy_basics;
+          Alcotest.test_case "orders and alignment" `Quick buddy_orders;
+          Alcotest.test_case "exhaustion" `Quick buddy_exhaustion;
+          Alcotest.test_case "merging" `Quick buddy_merge;
+          Alcotest.test_case "double free rejected" `Quick buddy_double_free;
+          Alcotest.test_case "bad order rejected" `Quick buddy_bad_order;
+          Alcotest.test_case "crash before-log" `Quick (buddy_crash_during_alloc Warea.Before_log);
+          Alcotest.test_case "crash after-log" `Quick (buddy_crash_during_alloc Warea.After_log);
+          Alcotest.test_case "crash mid-apply" `Quick (buddy_crash_during_alloc Warea.Mid_apply);
+          Alcotest.test_case "random ops keep invariants" `Quick buddy_random_ops;
+        ] );
+      ( "slab",
+        [
+          Alcotest.test_case "class_of_size" `Quick slab_class_of_size;
+          Alcotest.test_case "alloc/free with page return" `Quick slab_alloc_free;
+          Alcotest.test_case "fills before growing" `Quick slab_fills_slab_before_growing;
+          Alcotest.test_case "double free rejected" `Quick slab_double_free;
+          Alcotest.test_case "crash during grow (after-log)" `Quick
+            (slab_crash_during_grow Warea.After_log);
+          Alcotest.test_case "crash during grow (before-log)" `Quick
+            (slab_crash_during_grow Warea.Before_log);
+          Alcotest.test_case "crash during grow (mid-apply)" `Quick
+            (slab_crash_during_grow Warea.Mid_apply);
+          Alcotest.test_case "live per class" `Quick slab_live_in_class;
+          Alcotest.test_case "random ops keep invariants" `Quick slab_random_ops;
+        ] );
+      ("global_meta", [ Alcotest.test_case "commit protocol" `Quick meta_commit_protocol ]);
+      ( "store",
+        [
+          Alcotest.test_case "page alloc/free" `Quick store_pages;
+          Alcotest.test_case "charges simulated time" `Quick store_charges_time;
+          Alcotest.test_case "sink redirect" `Quick store_sink_redirect;
+          Alcotest.test_case "dram exhaustion" `Quick store_dram_exhaustion;
+          Alcotest.test_case "page io + copy" `Quick store_page_io;
+          Alcotest.test_case "small objects" `Quick store_objects;
+          Alcotest.test_case "crash and recover" `Quick store_crash_recover;
+        ] );
+      ("properties", qsuite);
+    ]

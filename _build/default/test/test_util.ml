@@ -1,0 +1,360 @@
+(* Unit and property tests for treesls_util. *)
+
+module Rng = Treesls_util.Rng
+module Zipf = Treesls_util.Zipf
+module Stats = Treesls_util.Stats
+module Histogram = Treesls_util.Histogram
+module Bits = Treesls_util.Bits
+module Table = Treesls_util.Table
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ---- Rng ---- *)
+
+let rng_deterministic () =
+  let a = Rng.create 1L and b = Rng.create 1L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  check_bool "different seeds differ" false (Rng.int64 a = Rng.int64 b)
+
+let rng_int_bounds () =
+  let r = Rng.create 3L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let rng_float_bounds () =
+  let r = Rng.create 4L in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 2.5 in
+    check_bool "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let rng_split_independent () =
+  let parent = Rng.create 5L in
+  let child = Rng.split parent in
+  let a = Rng.int64 child and b = Rng.int64 parent in
+  check_bool "split stream differs from parent" false (a = b)
+
+let rng_copy_preserves () =
+  let r = Rng.create 6L in
+  ignore (Rng.int64 r);
+  let c = Rng.copy r in
+  Alcotest.(check int64) "copy replays" (Rng.int64 r) (Rng.int64 c)
+
+let rng_shuffle_permutation () =
+  let r = Rng.create 7L in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let rng_bool_balanced () =
+  let r = Rng.create 8L in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool r then incr trues
+  done;
+  check_bool "roughly balanced" true (!trues > 4_500 && !trues < 5_500)
+
+let rng_pick_member () =
+  let r = Rng.create 9L in
+  let a = [| 2; 4; 8 |] in
+  for _ = 1 to 100 do
+    check_bool "member" true (Array.mem (Rng.pick r a) a)
+  done
+
+(* ---- Zipf ---- *)
+
+let zipf_bounds () =
+  let r = Rng.create 10L in
+  let z = Zipf.create ~n:100 r in
+  for _ = 1 to 10_000 do
+    let v = Zipf.next z in
+    check_bool "in domain" true (v >= 0 && v < 100)
+  done
+
+let zipf_scrambled_bounds () =
+  let r = Rng.create 11L in
+  let z = Zipf.create ~n:1000 r in
+  for _ = 1 to 10_000 do
+    let v = Zipf.scrambled z in
+    check_bool "in domain" true (v >= 0 && v < 1000)
+  done
+
+let zipf_skew () =
+  let r = Rng.create 12L in
+  let z = Zipf.create ~n:1000 r in
+  let zero = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Zipf.next z = 0 then incr zero
+  done;
+  (* item 0 should receive far more than the uniform 1/1000 share *)
+  check_bool "head is hot" true (!zero > n / 100)
+
+let zipf_theta_effect () =
+  let freq theta =
+    let r = Rng.create 13L in
+    let z = Zipf.create ~theta ~n:1000 r in
+    let zero = ref 0 in
+    for _ = 1 to 20_000 do
+      if Zipf.next z = 0 then incr zero
+    done;
+    !zero
+  in
+  check_bool "higher theta is more skewed" true (freq 1.2 > freq 0.7)
+
+(* ---- Stats ---- *)
+
+let stats_empty () =
+  let s = Stats.create () in
+  check_int "count" 0 (Stats.count s);
+  check_bool "is_empty" true (Stats.is_empty s);
+  Alcotest.check_raises "percentile on empty" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.percentile s 50.0))
+
+let stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_float "mean" 2.5 (Stats.mean s);
+  check_float "min" 1.0 (Stats.min s);
+  check_float "max" 4.0 (Stats.max s);
+  check_float "total" 10.0 (Stats.total s)
+
+let stats_percentile_interpolation () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 10.0; 20.0; 30.0 ];
+  check_float "p50 is median" 20.0 (Stats.p50 s);
+  check_float "p0 is min" 10.0 (Stats.percentile s 0.0);
+  check_float "p100 is max" 30.0 (Stats.percentile s 100.0);
+  check_float "p25 interpolates" 15.0 (Stats.percentile s 25.0)
+
+let stats_stddev () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check (float 1e-6)) "sample stddev" 2.13809 (Stats.stddev s)
+
+let stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add a 1.0;
+  Stats.add b 3.0;
+  let m = Stats.merge a b in
+  check_int "merged count" 2 (Stats.count m);
+  check_float "merged mean" 2.0 (Stats.mean m);
+  check_int "a untouched" 1 (Stats.count a)
+
+let stats_add_after_sort () =
+  let s = Stats.create () in
+  Stats.add s 5.0;
+  check_float "max" 5.0 (Stats.max s);
+  Stats.add s 1.0;
+  check_float "min after re-sort" 1.0 (Stats.min s);
+  check_float "max after re-sort" 5.0 (Stats.max s)
+
+let stats_clear () =
+  let s = Stats.create () in
+  Stats.add s 1.0;
+  Stats.clear s;
+  check_int "cleared" 0 (Stats.count s)
+
+let stats_growth () =
+  let s = Stats.create () in
+  for i = 1 to 1000 do
+    Stats.add s (float_of_int i)
+  done;
+  check_int "count" 1000 (Stats.count s);
+  check_float "p50" 500.5 (Stats.p50 s)
+
+(* ---- Histogram ---- *)
+
+let hist_empty () =
+  let h = Histogram.create () in
+  check_int "count" 0 (Histogram.count h);
+  check_int "p50 of empty" 0 (Histogram.percentile h 50.0)
+
+let hist_exact_small () =
+  let h = Histogram.create () in
+  (* values below sub_buckets are recorded exactly *)
+  List.iter (Histogram.add h) [ 1; 2; 3; 4; 5 ];
+  check_int "p50 small exact" 3 (Histogram.percentile h 50.0);
+  check_int "max" 5 (Histogram.max_value h)
+
+let hist_bounded_error () =
+  let h = Histogram.create () in
+  for v = 1 to 100_000 do
+    Histogram.add h v
+  done;
+  let p50 = Histogram.percentile h 50.0 in
+  (* log buckets with 16 sub-buckets: <= ~6.25% relative error *)
+  check_bool "p50 within bucket error" true (p50 >= 50_000 && p50 <= 53_500);
+  let p99 = Histogram.percentile h 99.0 in
+  check_bool "p99 within bucket error" true (p99 >= 99_000 && p99 <= 106_000)
+
+let hist_mean_total () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 10; 20; 30 ];
+  check_int "total" 60 (Histogram.total h);
+  check_float "mean" 20.0 (Histogram.mean h)
+
+let hist_negative_clamped () =
+  let h = Histogram.create () in
+  Histogram.add h (-5);
+  check_int "clamped to zero" 0 (Histogram.percentile h 50.0)
+
+let hist_clear () =
+  let h = Histogram.create () in
+  Histogram.add h 42;
+  Histogram.clear h;
+  check_int "count" 0 (Histogram.count h);
+  check_int "max" 0 (Histogram.max_value h)
+
+(* ---- Bits ---- *)
+
+let bits_log2 () =
+  check_int "log2 1" 0 (Bits.log2_int 1);
+  check_int "log2 2" 1 (Bits.log2_int 2);
+  check_int "log2 3" 1 (Bits.log2_int 3);
+  check_int "log2 1024" 10 (Bits.log2_int 1024)
+
+let bits_pow2 () =
+  check_bool "1 is pow2" true (Bits.is_power_of_two 1);
+  check_bool "6 is not" false (Bits.is_power_of_two 6);
+  check_int "next pow2 of 5" 8 (Bits.next_power_of_two 5);
+  check_int "next pow2 of 8" 8 (Bits.next_power_of_two 8);
+  check_int "next pow2 of 1" 1 (Bits.next_power_of_two 1)
+
+let bits_invalid () =
+  Alcotest.check_raises "log2 0" (Invalid_argument "Bits.log2_int: non-positive") (fun () ->
+      ignore (Bits.log2_int 0))
+
+(* ---- Table ---- *)
+
+let table_render () =
+  let out = Table.render ~header:[ "a"; "bb" ] [ [ "xxx"; "1" ]; [ "y"; "22" ] ] in
+  let lines = String.split_on_char '\n' out in
+  check_int "rows + header + sep" 4 (List.length lines);
+  (* all lines equal width *)
+  match lines with
+  | first :: rest ->
+    List.iter (fun l -> check_int "aligned" (String.length first) (String.length l)) rest
+  | [] -> Alcotest.fail "no output"
+
+let table_formats () =
+  check_string "us" "12.34" (Table.fmt_us 12.341);
+  check_string "ratio" "2.20x" (Table.fmt_ratio 2.2);
+  check_string "pct" "46%" (Table.fmt_pct 0.46)
+
+(* ---- qcheck properties ---- *)
+
+let prop_stats_percentile_bounds =
+  QCheck.Test.make ~name:"stats: percentiles within [min,max]" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0)) (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      QCheck.assume (xs <> []);
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let v = Stats.percentile s p in
+      v >= Stats.min s -. 1e-9 && v <= Stats.max s +. 1e-9)
+
+let prop_hist_percentile_monotone =
+  QCheck.Test.make ~name:"histogram: percentile is monotone in p" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 100) (int_bound 1_000_000))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let prev = ref 0 in
+      List.for_all
+        (fun p ->
+          let v = Histogram.percentile h p in
+          let ok = v >= !prev in
+          prev := v;
+          ok)
+        [ 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ])
+
+let prop_rng_int_uniformish =
+  QCheck.Test.make ~name:"rng: all residues hit" ~count:20
+    QCheck.(int_range 2 10)
+    (fun bound ->
+      let r = Rng.create 99L in
+      let seen = Array.make bound false in
+      for _ = 1 to 1000 do
+        seen.(Rng.int r bound) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+let prop_bits_next_pow2 =
+  QCheck.Test.make ~name:"bits: next_power_of_two properties" ~count:500
+    QCheck.(int_range 1 (1 lsl 30))
+    (fun v ->
+      let p = Bits.next_power_of_two v in
+      Bits.is_power_of_two p && p >= v && (p = 1 || p / 2 < v))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+  [ prop_stats_percentile_bounds; prop_hist_percentile_monotone; prop_rng_int_uniformish; prop_bits_next_pow2 ]
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick rng_float_bounds;
+          Alcotest.test_case "split independent" `Quick rng_split_independent;
+          Alcotest.test_case "copy preserves" `Quick rng_copy_preserves;
+          Alcotest.test_case "shuffle permutation" `Quick rng_shuffle_permutation;
+          Alcotest.test_case "bool balanced" `Quick rng_bool_balanced;
+          Alcotest.test_case "pick member" `Quick rng_pick_member;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "bounds" `Quick zipf_bounds;
+          Alcotest.test_case "scrambled bounds" `Quick zipf_scrambled_bounds;
+          Alcotest.test_case "skew" `Quick zipf_skew;
+          Alcotest.test_case "theta effect" `Quick zipf_theta_effect;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "empty" `Quick stats_empty;
+          Alcotest.test_case "basic" `Quick stats_basic;
+          Alcotest.test_case "percentile interpolation" `Quick stats_percentile_interpolation;
+          Alcotest.test_case "stddev" `Quick stats_stddev;
+          Alcotest.test_case "merge" `Quick stats_merge;
+          Alcotest.test_case "add after sort" `Quick stats_add_after_sort;
+          Alcotest.test_case "clear" `Quick stats_clear;
+          Alcotest.test_case "growth" `Quick stats_growth;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick hist_empty;
+          Alcotest.test_case "exact small values" `Quick hist_exact_small;
+          Alcotest.test_case "bounded error" `Quick hist_bounded_error;
+          Alcotest.test_case "mean and total" `Quick hist_mean_total;
+          Alcotest.test_case "negative clamped" `Quick hist_negative_clamped;
+          Alcotest.test_case "clear" `Quick hist_clear;
+        ] );
+      ( "bits",
+        [
+          Alcotest.test_case "log2" `Quick bits_log2;
+          Alcotest.test_case "powers of two" `Quick bits_pow2;
+          Alcotest.test_case "invalid input" `Quick bits_invalid;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render alignment" `Quick table_render;
+          Alcotest.test_case "formatters" `Quick table_formats;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,154 @@
+(* Tests for the workload generators: YCSB mixes and Prefix_dist. *)
+
+module Ycsb = Treesls_workloads.Ycsb
+module Prefix_dist = Treesls_workloads.Prefix_dist
+module Rng = Treesls_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mix_of workload n =
+  let rng = Rng.create 5L in
+  let gen = Ycsb.create workload ~keys:1_000 rng in
+  let reads = ref 0 and updates = ref 0 and inserts = ref 0 in
+  for _ = 1 to n do
+    match Ycsb.next gen with
+    | Ycsb.Read _ -> incr reads
+    | Ycsb.Update _ -> incr updates
+    | Ycsb.Insert _ -> incr inserts
+  done;
+  (!reads, !updates, !inserts)
+
+let ycsb_a_mix () =
+  let r, u, i = mix_of Ycsb.A 10_000 in
+  check_int "no inserts" 0 i;
+  check_bool "roughly half reads" true (r > 4_700 && r < 5_300);
+  check_bool "roughly half updates" true (u > 4_700 && u < 5_300)
+
+let ycsb_b_mix () =
+  let r, u, _ = mix_of Ycsb.B 10_000 in
+  check_bool "95% reads" true (r > 9_350 && r < 9_650);
+  check_bool "5% updates" true (u > 350 && u < 650)
+
+let ycsb_c_mix () =
+  let r, u, i = mix_of Ycsb.C 5_000 in
+  check_int "all reads" 5_000 r;
+  check_int "none else" 0 (u + i)
+
+let ycsb_update_only () =
+  let r, u, i = mix_of Ycsb.Update_only 5_000 in
+  check_int "all updates" 5_000 u;
+  check_int "none else" 0 (r + i)
+
+let ycsb_insert_grows () =
+  let rng = Rng.create 6L in
+  let gen = Ycsb.create Ycsb.Insert_only ~keys:100 rng in
+  (match Ycsb.next gen with
+  | Ycsb.Insert k -> check_int "first insert at key count" 100 k
+  | _ -> Alcotest.fail "expected insert");
+  ignore (Ycsb.next gen);
+  check_int "key space grew" 102 (Ycsb.key_count gen)
+
+let ycsb_keys_in_range () =
+  let rng = Rng.create 7L in
+  let gen = Ycsb.create Ycsb.A ~keys:500 rng in
+  for _ = 1 to 5_000 do
+    match Ycsb.next gen with
+    | Ycsb.Read k | Ycsb.Update k -> check_bool "in range" true (k >= 0 && k < 500)
+    | Ycsb.Insert _ -> Alcotest.fail "no inserts in A"
+  done
+
+let ycsb_skewed () =
+  let rng = Rng.create 8L in
+  let gen = Ycsb.create Ycsb.Update_only ~keys:10_000 rng in
+  let freq = Hashtbl.create 64 in
+  for _ = 1 to 20_000 do
+    match Ycsb.next gen with
+    | Ycsb.Update k ->
+      Hashtbl.replace freq k (1 + Option.value ~default:0 (Hashtbl.find_opt freq k))
+    | _ -> ()
+  done;
+  let max_freq = Hashtbl.fold (fun _ v acc -> max v acc) freq 0 in
+  (* zipfian: the hottest key is hit far more than uniform (2 expected) *)
+  check_bool "hot key exists" true (max_freq > 50)
+
+let ycsb_names () =
+  check_int "five workloads" 5 (List.length Ycsb.all);
+  let names = List.map Ycsb.name Ycsb.all in
+  check_int "distinct names" 5 (List.length (List.sort_uniq compare names))
+
+(* ---- Prefix_dist ---- *)
+
+let prefix_write_fraction () =
+  let rng = Rng.create 9L in
+  let gen = Prefix_dist.create ~write_fraction:0.78 rng in
+  let writes = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    match Prefix_dist.next gen with
+    | Prefix_dist.Put _ -> incr writes
+    | Prefix_dist.Get _ -> ()
+  done;
+  check_bool "~78% writes" true (!writes > 7_500 && !writes < 8_100)
+
+let prefix_key_format () =
+  let rng = Rng.create 10L in
+  let gen = Prefix_dist.create rng in
+  for _ = 1 to 1_000 do
+    match Prefix_dist.next gen with
+    | Prefix_dist.Put { key; _ } | Prefix_dist.Get { key } ->
+      check_bool "prefix:suffix shape" true
+        (String.length key = 12 && key.[0] = 'p' && key.[3] = ':')
+  done
+
+let prefix_value_sizes () =
+  let rng = Rng.create 11L in
+  let gen = Prefix_dist.create rng in
+  let sizes = ref [] in
+  while List.length !sizes < 2_000 do
+    match Prefix_dist.next gen with
+    | Prefix_dist.Put { value; _ } -> sizes := String.length value :: !sizes
+    | Prefix_dist.Get _ -> ()
+  done;
+  List.iter (fun s -> check_bool "bounded" true (s >= 16 && s <= 1024)) !sizes;
+  let mean = float_of_int (List.fold_left ( + ) 0 !sizes) /. float_of_int (List.length !sizes) in
+  check_bool "small mean, heavy tail" true (mean > 40.0 && mean < 400.0);
+  check_bool "tail reaches large values" true (List.exists (fun s -> s > 500) !sizes)
+
+let prefix_skewed_prefixes () =
+  let rng = Rng.create 12L in
+  let gen = Prefix_dist.create rng in
+  let freq = Array.make 64 0 in
+  for _ = 1 to 10_000 do
+    match Prefix_dist.next gen with
+    | Prefix_dist.Put { key; _ } | Prefix_dist.Get { key } ->
+      let p = int_of_string (String.sub key 1 2) in
+      freq.(p) <- freq.(p) + 1
+  done;
+  let sorted = Array.copy freq in
+  Array.sort (fun a b -> compare b a) sorted;
+  (* top prefix takes a disproportionate share *)
+  check_bool "skewed" true (sorted.(0) > 10_000 / 64 * 4)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "ycsb",
+        [
+          Alcotest.test_case "A mix" `Quick ycsb_a_mix;
+          Alcotest.test_case "B mix" `Quick ycsb_b_mix;
+          Alcotest.test_case "C mix" `Quick ycsb_c_mix;
+          Alcotest.test_case "update-only" `Quick ycsb_update_only;
+          Alcotest.test_case "insert grows keys" `Quick ycsb_insert_grows;
+          Alcotest.test_case "keys in range" `Quick ycsb_keys_in_range;
+          Alcotest.test_case "zipfian skew" `Quick ycsb_skewed;
+          Alcotest.test_case "names" `Quick ycsb_names;
+        ] );
+      ( "prefix_dist",
+        [
+          Alcotest.test_case "write fraction" `Quick prefix_write_fraction;
+          Alcotest.test_case "key format" `Quick prefix_key_format;
+          Alcotest.test_case "value size distribution" `Quick prefix_value_sizes;
+          Alcotest.test_case "prefix skew" `Quick prefix_skewed_prefixes;
+        ] );
+    ]
