@@ -1,0 +1,22 @@
+# Convenience targets. `make ci` is the whole gate: anything a CI job (or
+# a pre-commit hook) should run lives behind it.
+#
+# Formatting: no `.ocamlformat` is committed because the target toolchain
+# ships no ocamlformat binary (a config file would break `dune build @fmt`
+# for everyone). Match the hand-formatting conventions of the surrounding
+# code instead — see README "Building".
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+ci:
+	dune build @all
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+.PHONY: all test ci bench

@@ -25,8 +25,20 @@ let features ~ckpt ~track ~copy ~hybrid =
 
 let full_features () = features ~ckpt:true ~track:true ~copy:true ~hybrid:true
 
+(* Set by main.exe's [--trace FILE] flag: every system booted through this
+   module records a trace, and the last one's ring is exported to FILE when
+   the harness exits. *)
+let trace_out : string option ref = ref None
+let trace_verbose : bool ref = ref false
+let traced_sys : System.t option ref = ref None
+
 let boot ?(interval_us = 1000) ?(features = full_features ()) ?(nvm_pages = 1 lsl 16) () =
-  System.boot ~interval_us ~features ~nvm_pages ()
+  let sys = System.boot ~interval_us ~features ~nvm_pages () in
+  if !trace_out <> None then begin
+    System.enable_tracing ~verbose:!trace_verbose sys;
+    traced_sys := Some sys
+  end;
+  sys
 
 (* ------------------------------------------------------------------ *)
 (* The seven workloads of Table 2 / Figure 9, unified behind "one op". *)
@@ -203,3 +215,70 @@ let avg_reports reports f =
   match reports with
   | [] -> 0.0
   | l -> List.fold_left (fun acc r -> acc +. float_of_int (f r)) 0.0 l /. float_of_int (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Trace export + reconciliation *)
+
+module Trace = Treesls_obs.Trace
+
+(* Cross-check the trace against the checkpoint code's own arithmetic: for
+   every retained [ckpt.stw] span,
+
+     stw = quiesce + captree + max(0, hybrid - captree) + others + resume
+
+   because the hybrid copy runs on the other cores in parallel with the
+   leader's cap-tree walk — only its excess extends the pause.  Returns
+   (spans checked, worst absolute discrepancy in ns, Stats of stw
+   durations). *)
+let reconcile_stw_spans tr =
+  let events = Trace.events tr in
+  let stw_stats = Stats.create () in
+  let checked = ref 0 and worst = ref 0 in
+  List.iter
+    (fun (stw : Trace.event) ->
+      if stw.Trace.name = "ckpt.stw" && stw.Trace.ph = Trace.Complete
+         && not (List.mem_assoc "aborted" stw.Trace.args)
+      then begin
+        let child name =
+          List.fold_left
+            (fun acc (e : Trace.event) ->
+              if e.Trace.name = name && e.Trace.parent = stw.Trace.id then acc + e.Trace.dur_ns
+              else acc)
+            0 events
+        in
+        let quiesce = child "ckpt.quiesce" in
+        let captree = child "ckpt.captree" in
+        let hybrid = child "ckpt.hybrid_copy" in
+        let others = child "ckpt.others" in
+        let resume = child "ckpt.resume" in
+        (* only spans whose children are all still in the ring reconcile *)
+        if captree > 0 then begin
+          let expected = quiesce + captree + Stdlib.max 0 (hybrid - captree) + others + resume in
+          let err = Stdlib.abs (stw.Trace.dur_ns - expected) in
+          incr checked;
+          if err > !worst then worst := err;
+          Stats.add stw_stats (float_of_int stw.Trace.dur_ns)
+        end
+      end)
+    events;
+  (!checked, !worst, stw_stats)
+
+let finish_trace () =
+  match (!trace_out, !traced_sys) with
+  | Some path, Some sys ->
+    System.export_trace_file sys ~path;
+    let tr = System.trace sys in
+    let checked, worst, stw = reconcile_stw_spans tr in
+    let pct p =
+      match Stats.percentile_opt stw p with
+      | None -> "n/a"
+      | Some v -> Printf.sprintf "%.2fus" (v /. 1e3)
+    in
+    Printf.printf
+      "\ntrace: %d events retained (%d recorded, %d dropped) -> %s\n\
+       trace: %d ckpt.stw spans reconcile with their children (worst error %dns); p50=%s p99=%s\n"
+      (Trace.length tr) (Trace.total tr) (Trace.dropped tr) path checked worst (pct 50.0)
+      (pct 99.0)
+  | Some path, None ->
+    Printf.printf "\ntrace: no system was booted; nothing to export to %s\n" path
+  | None, _ -> ()

@@ -38,8 +38,10 @@ let run () =
       app.refresh ();
       List.iter (fun (k, c) -> merge k c) (Manager.obj_costs (System.manager sys)))
     table2_workloads;
+  (* the [_opt] accessors return None on empty samples instead of raising,
+     so an object kind some workload never restores prints "n/a" *)
   let fmt_stat s pick =
-    if Stats.is_empty s then "-" else Printf.sprintf "%.2f" (pick s /. 1e3)
+    match pick s with None -> "n/a" | Some v -> Printf.sprintf "%.2f" (v /. 1e3)
   in
   let rows =
     List.filter_map
@@ -50,12 +52,12 @@ let run () =
           Some
             [
               Kobj.kind_name kind;
-              fmt_stat c.State.incr Stats.min;
-              fmt_stat c.State.incr Stats.max;
-              fmt_stat c.State.full Stats.min;
-              fmt_stat c.State.full Stats.max;
-              fmt_stat c.State.restore Stats.min;
-              fmt_stat c.State.restore Stats.max;
+              fmt_stat c.State.incr Stats.min_opt;
+              fmt_stat c.State.incr Stats.max_opt;
+              fmt_stat c.State.full Stats.min_opt;
+              fmt_stat c.State.full Stats.max_opt;
+              fmt_stat c.State.restore Stats.min_opt;
+              fmt_stat c.State.restore Stats.max_opt;
             ])
       Kobj.all_kinds
   in

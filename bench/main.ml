@@ -4,6 +4,13 @@
      dune exec bench/main.exe                 # all experiments
      dune exec bench/main.exe -- --exp fig13  # one experiment
      dune exec bench/main.exe -- --bechamel   # host-time microbenchmarks
+
+   Tracing: add [--trace FILE] (and optionally [--trace-verbose]) to record
+   every booted system's checkpoint pipeline and export the last system's
+   ring as Chrome/Perfetto trace_event JSON, with a reconciliation check of
+   the ckpt.stw spans against their children:
+
+     dune exec bench/main.exe -- --exp fig9 --trace fig9.trace.json
 *)
 
 let experiments =
@@ -103,14 +110,14 @@ let run_bechamel () =
 let () =
   let args = Array.to_list Sys.argv in
   let want_bechamel = List.mem "--bechamel" args in
-  let exp =
-    let rec find = function
-      | "--exp" :: name :: _ -> Some name
-      | _ :: rest -> find rest
-      | [] -> None
-    in
-    find args
+  let rec find_opt key = function
+    | k :: v :: _ when k = key -> Some v
+    | _ :: rest -> find_opt key rest
+    | [] -> None
   in
+  let exp = find_opt "--exp" args in
+  Exp_common.trace_out := find_opt "--trace" args;
+  Exp_common.trace_verbose := List.mem "--trace-verbose" args;
   if want_bechamel then run_bechamel ()
   else begin
     let to_run =
@@ -130,5 +137,6 @@ let () =
         let t0 = Unix.gettimeofday () in
         run ();
         Printf.printf "(experiment took %.1fs host time)\n%!" (Unix.gettimeofday () -. t0))
-      to_run
+      to_run;
+    Exp_common.finish_trace ()
   end

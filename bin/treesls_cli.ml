@@ -4,6 +4,9 @@
      treesls_cli run -w redis -n 20000       run a workload with 1ms checkpoints
      treesls_cli run -w memcached --crash 3  inject 3 power failures while running
      treesls_cli ckpt                        one checkpoint, print the breakdown
+     treesls_cli trace -w redis --crash 1    run traced; dump the event ring
+     treesls_cli trace --export t.json       ... and write Perfetto JSON
+     treesls_cli metrics -w sqlite --json    run and dump the metrics registry
 *)
 
 module System = Treesls.System
@@ -13,6 +16,7 @@ module Report = Treesls_ckpt.Report
 module Census = Treesls_cap.Census
 module Kobj = Treesls_cap.Kobj
 module Rng = Treesls_util.Rng
+module Trace = Treesls_obs.Trace
 open Cmdliner
 
 let workloads =
@@ -90,44 +94,55 @@ let ckpt_cmd =
   Cmd.v (Cmd.info "ckpt" ~doc:"Take a full and an incremental checkpoint; print breakdowns")
     Term.(const run $ const ())
 
+(* Shared argument terms and run loop for the run/trace/metrics commands. *)
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (enum workloads) `Memcached
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to run (memcached, redis, ...)")
+
+let ops_arg =
+  Arg.(value & opt int 20_000 & info [ "n"; "ops" ] ~docv:"N" ~doc:"Operations to run")
+
+let interval_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "i"; "interval-us" ] ~docv:"US" ~doc:"Checkpoint interval in microseconds (0 = off)")
+
+let crashes_arg =
+  Arg.(
+    value & opt int 0 & info [ "crash" ] ~docv:"K" ~doc:"Inject K evenly spaced power failures")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Random seed")
+
+let boot_configured interval =
+  let sys = System.boot ~interval_us:(max 1 interval) () in
+  if interval = 0 then System.set_interval_us sys None;
+  sys
+
+(* Drive [ops] workload operations with periodic checkpoints and [crashes]
+   evenly spaced power failures. *)
+let drive sys ~workload ~ops ~crashes ~seed =
+  let rng = Rng.create (Int64.of_int seed) in
+  let step, refresh = launch sys rng workload in
+  let crash_every = if crashes > 0 then ops / (crashes + 1) else max_int in
+  for i = 1 to ops do
+    step ();
+    ignore (System.tick sys);
+    if crashes > 0 && i mod crash_every = 0 && System.version sys > 0 then begin
+      let r = System.crash_and_recover sys in
+      refresh ();
+      Printf.printf "crash at op %d: rolled back to v%d (%d objects)\n%!" i
+        r.Treesls_ckpt.Restore.version r.Treesls_ckpt.Restore.restored_objects
+    end
+  done
+
 let run_cmd =
-  let workload =
-    Arg.(
-      value
-      & opt (enum workloads) `Memcached
-      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to run (memcached, redis, ...)")
-  in
-  let ops =
-    Arg.(value & opt int 20_000 & info [ "n"; "ops" ] ~docv:"N" ~doc:"Operations to run")
-  in
-  let interval =
-    Arg.(
-      value & opt int 1000
-      & info [ "i"; "interval-us" ] ~docv:"US" ~doc:"Checkpoint interval in microseconds (0 = off)")
-  in
-  let crashes =
-    Arg.(
-      value & opt int 0
-      & info [ "crash" ] ~docv:"K" ~doc:"Inject K evenly spaced power failures")
-  in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Random seed") in
   let run workload ops interval crashes seed =
-    let sys = System.boot ~interval_us:(max 1 interval) () in
-    if interval = 0 then System.set_interval_us sys None;
-    let rng = Rng.create (Int64.of_int seed) in
-    let step, refresh = launch sys rng workload in
-    let crash_every = if crashes > 0 then ops / (crashes + 1) else max_int in
+    let sys = boot_configured interval in
     let t_host = Unix.gettimeofday () in
-    for i = 1 to ops do
-      step ();
-      ignore (System.tick sys);
-      if crashes > 0 && i mod crash_every = 0 && System.version sys > 0 then begin
-        let r = System.crash_and_recover sys in
-        refresh ();
-        Printf.printf "crash at op %d: rolled back to v%d (%d objects)\n%!" i
-          r.Treesls_ckpt.Restore.version r.Treesls_ckpt.Restore.restored_objects
-      end
-    done;
+    drive sys ~workload ~ops ~crashes ~seed;
     let host = Unix.gettimeofday () -. t_host in
     let sim_ms = float_of_int (System.now_ns sys) /. 1e6 in
     let stats = System.stats sys in
@@ -142,8 +157,74 @@ let run_cmd =
       (float_of_int (Manager.checkpoint_bytes (System.manager sys)) /. 1048576.0)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under periodic checkpointing")
-    Term.(const run $ workload $ ops $ interval $ crashes $ seed)
+    Term.(const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg)
+
+let trace_cmd =
+  let last =
+    Arg.(
+      value & opt int 30
+      & info [ "last" ] ~docv:"N" ~doc:"Print the last N retained events (0 = none)")
+  in
+  let export =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"FILE" ~doc:"Write Chrome/Perfetto trace_event JSON to FILE")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ]
+          ~doc:"Also record the per-operation tier (nvm.alloc, nvm.txn, ipc.call)")
+  in
+  let run workload ops interval crashes seed last export verbose =
+    let sys = boot_configured interval in
+    System.enable_tracing ~verbose sys;
+    drive sys ~workload ~ops ~crashes ~seed;
+    let tr = System.trace sys in
+    Printf.printf "trace: %d events retained of %d recorded (%d dropped, capacity %d)\n"
+      (Trace.length tr) (Trace.total tr) (Trace.dropped tr) (Trace.capacity tr);
+    if last > 0 then begin
+      let events = Trace.events tr in
+      let n = List.length events in
+      Printf.printf "last %d events:\n" (min last n);
+      List.iteri
+        (fun i e -> if i >= n - last then Format.printf "%a@." Trace.pp_event e)
+        events
+    end;
+    match export with
+    | Some path ->
+      System.export_trace_file sys ~path;
+      Printf.printf "wrote %s (open in https://ui.perfetto.dev or chrome://tracing)\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload with tracing enabled; dump the event ring. The ring survives the \
+          power failures injected with --crash: pre-crash spans (closed as aborted=true), \
+          the crash marker and the restore span all remain inspectable afterwards.")
+    Term.(
+      const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg $ last $ export
+      $ verbose)
+
+let metrics_cmd =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Dump the registry as JSON") in
+  let run workload ops interval crashes seed json =
+    let sys = boot_configured interval in
+    drive sys ~workload ~ops ~crashes ~seed;
+    let snap = System.metrics_snapshot sys in
+    if json then print_endline (Treesls_obs.Metrics.snapshot_to_json snap)
+    else Format.printf "%a@." Treesls_obs.Metrics.pp_snapshot snap
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Run a workload and dump the metrics registry")
+    Term.(const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg $ json)
 
 let () =
   let doc = "TreeSLS whole-system persistent microkernel simulator" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "treesls_cli" ~doc) [ census_cmd; ckpt_cmd; run_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "treesls_cli" ~doc)
+          [ census_cmd; ckpt_cmd; run_cmd; trace_cmd; metrics_cmd ]))

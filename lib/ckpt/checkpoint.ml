@@ -9,6 +9,7 @@ module Cost = Treesls_sim.Cost
 module Clock = Treesls_sim.Clock
 module Stats = Treesls_util.Stats
 module Id_gen = Treesls_cap.Id_gen
+module Probe = Treesls_obs.Probe
 
 let now st = Clock.now (Kernel.clock st.State.kernel)
 
@@ -206,10 +207,14 @@ let run st =
   let meta = Store.meta store in
   let new_ver = Global_meta.version meta + 1 in
   let t0 = now st in
+  let stw_tok = Probe.enter "ckpt.stw" ~args:[ ("version", string_of_int new_ver) ] in
   (* step 1: quiesce *)
+  let quiesce_tok = Probe.enter "ckpt.quiesce" in
   let ipi_ns = Kernel.quiesce kernel in
+  Probe.exit quiesce_tok;
   Global_meta.begin_checkpoint meta;
   (* step 2: leader walks the capability tree *)
+  let walk_tok = Probe.enter "ckpt.captree" in
   let walk0 = now st in
   let per_kind = Hashtbl.create 8 in
   let objects = ref 0 and fulls = ref 0 and snap_bytes = ref 0 in
@@ -230,6 +235,13 @@ let run st =
       let cost_stats = State.obj_cost st kind in
       Stats.add (if full then cost_stats.State.full else cost_stats.State.incr) (float_of_int dt));
   let walk_ns = now st - walk0 in
+  Probe.exit walk_tok
+    ~args:
+      [
+        ("objects", string_of_int !objects);
+        ("full", string_of_int !fulls);
+        ("snapshot_bytes", string_of_int !snap_bytes);
+      ];
   (* step 3: parallel hybrid copy by the other cores *)
   let dirty_copied = ref 0 and migrated_in = ref 0 and migrated_out = ref 0 in
   let hybrid_ns =
@@ -251,16 +263,31 @@ let run st =
   in
   (* the pause lasts until both the leader and the slowest core finish *)
   if hybrid_ns > walk_ns then Clock.advance (Kernel.clock kernel) (hybrid_ns - walk_ns);
+  (* The hybrid copy ran on the other cores in parallel with the leader's
+     walk: record it with explicit timestamps, overlapping ckpt.captree. *)
+  if st.State.features.State.hybrid then
+    Probe.span_at "ckpt.hybrid_copy" ~ts_ns:walk0 ~dur_ns:hybrid_ns
+      ~args:
+        [
+          ("dirty_copied", string_of_int !dirty_copied);
+          ("migrated_in", string_of_int !migrated_in);
+          ("migrated_out", string_of_int !migrated_out);
+        ];
   (* step 4: atomic commit *)
+  let others_tok = Probe.enter "ckpt.others" in
   let others0 = now st in
   Global_meta.commit_checkpoint meta;
   st.State.ids_hwm <- Id_gen.current (Kernel.ids kernel);
   gc_dead_oroots st ~committed:new_ver;
   Store.charge store (Store.cost store).Cost.tlb_shootdown_ns;
   let others_ns = now st - others0 in
+  Probe.exit others_tok;
   (* step 5: resume *)
+  let resume_tok = Probe.enter "ckpt.resume" in
   let resume_ns = Kernel.resume_cores kernel in
+  Probe.exit resume_tok;
   let stw_ns = now st - t0 in
+  Probe.exit stw_tok ~args:[ ("stw_ns", string_of_int stw_ns) ];
   (* external synchrony callbacks run after the commit (release replies) *)
   List.iter (fun cb -> cb ()) st.State.ckpt_callbacks;
   let report =
@@ -282,5 +309,18 @@ let run st =
       snapshot_bytes = !snap_bytes;
     }
   in
+  Probe.count "ckpt.runs" 1;
+  Probe.count "ckpt.objects_walked" !objects;
+  Probe.count "ckpt.full_objects" !fulls;
+  Probe.count "ckpt.pages.protected" protected_before;
+  Probe.count "ckpt.pages.dirty_copied" !dirty_copied;
+  Probe.count "ckpt.pages.migrated_in" !migrated_in;
+  Probe.count "ckpt.pages.migrated_out" !migrated_out;
+  Probe.gauge "ckpt.cached_pages" report.Report.cached_pages;
+  Probe.gauge "ckpt.version" new_ver;
+  Probe.observe "ckpt.stw_ns" stw_ns;
+  Probe.observe "ckpt.captree_ns" walk_ns;
+  Probe.observe "ckpt.hybrid_ns" hybrid_ns;
+  Probe.observe "ckpt.others_ns" others_ns;
   st.State.last_report <- Some report;
   report

@@ -73,6 +73,11 @@ let next_deadline t =
 let on_checkpoint t cb = t.st.State.ckpt_callbacks <- t.st.State.ckpt_callbacks @ [ cb ]
 
 let crash t =
+  (* The trace ring and metrics registry live in eternal-PMO state: a
+     power failure ends open spans (recorded as aborted) and stamps a
+     crash marker, but the events recorded so far survive the failure. *)
+  Treesls_obs.Probe.crash_mark ();
+  Treesls_obs.Probe.count "crashes" 1;
   State.note_crash t.st;
   Kernel.crash (kernel t)
 

@@ -58,7 +58,7 @@ let page_check_ns store =
   let c = Store.cost store in
   int_of_float (2.0 *. c.Cost.word_copy_nvm_ns)
 
-let run st =
+let run_inner st =
   let crashed_kernel = st.State.kernel in
   let store = Kernel.store crashed_kernel in
   let clock = Store.clock store in
@@ -280,3 +280,25 @@ let run st =
     restore_ns = Clock.now clock - t0;
     version = g;
   }
+
+let run st =
+  let module Probe = Treesls_obs.Probe in
+  let tok = Probe.enter "restore" in
+  match run_inner st with
+  | r ->
+    Probe.exit tok
+      ~args:
+        [
+          ("version", string_of_int r.version);
+          ("restored_objects", string_of_int r.restored_objects);
+          ("dropped_objects", string_of_int r.dropped_objects);
+          ("pages_restored", string_of_int r.pages_restored);
+          ("pages_dropped", string_of_int r.pages_dropped);
+        ];
+    Probe.count "restore.runs" 1;
+    Probe.count "restore.objects" r.restored_objects;
+    Probe.observe "restore.ns" r.restore_ns;
+    r
+  | exception e ->
+    Probe.exit tok ~args:[ ("failed", "true") ];
+    raise e

@@ -3,14 +3,24 @@ module Manager = Treesls_ckpt.Manager
 module Report = Treesls_ckpt.Report
 module Restore = Treesls_ckpt.Restore
 module Clock = Treesls_sim.Clock
+module Probe = Treesls_obs.Probe
+module Trace = Treesls_obs.Trace
+module Metrics = Treesls_obs.Metrics
 
-type t = { mgr : Manager.t; mutable services : (string * (t -> unit)) list }
+type t = {
+  mgr : Manager.t;
+  obs : Probe.t;
+  mutable services : (string * (t -> unit)) list;
+}
 
-let boot ?cost ?ncores ?nvm_pages ?dram_pages ?interval_us ?features ?active_cfg () =
+let boot ?cost ?ncores ?nvm_pages ?dram_pages ?interval_us ?features ?active_cfg
+    ?trace_capacity () =
   let kernel = Kernel.boot ?cost ?ncores ?nvm_pages ?dram_pages () in
   let mgr = Manager.attach ?active_cfg ?features kernel in
   (match interval_us with Some us -> Manager.set_interval mgr (Some (us * 1000)) | None -> ());
-  { mgr; services = [] }
+  let obs = Probe.create ?capacity:trace_capacity ~clock:(Kernel.clock kernel) () in
+  Probe.install obs;
+  { mgr; obs; services = [] }
 
 let kernel t = Manager.kernel t.mgr
 let manager t = t.mgr
@@ -53,3 +63,45 @@ let crash_and_recover t =
   recover t
 
 let stats t = Kernel.stats (kernel t)
+
+(* --- observability ---------------------------------------------------- *)
+
+let obs t = t.obs
+let trace t = Probe.trace t.obs
+let metrics_snapshot t = Metrics.snapshot (Probe.metrics t.obs)
+
+(* Reserve an eternal PMO to back the trace ring, mirroring how TreeSLS
+   keeps always-persistent state (§5): eternal pages are materialised at
+   creation, walked by every checkpoint, and revived verbatim by restore
+   instead of rolling back — which is exactly the lifetime the trace
+   buffer needs to stay inspectable across a power failure.  The event
+   payload itself stays on the OCaml heap (writing each event through the
+   kernel would charge simulated time and perturb the measurement being
+   traced); the PMO models its NVM footprint at 64 bytes per slot. *)
+let ensure_eternal_backing t =
+  match Probe.backing_pmo t.obs with
+  | Some _ -> ()
+  | None ->
+    let k = kernel t in
+    let bytes = Trace.capacity (Probe.trace t.obs) * 64 in
+    let psz = (Kernel.cost k).Treesls_sim.Cost.page_size in
+    let pages = max 1 ((bytes + psz - 1) / psz) in
+    let pmo = Kernel.make_eternal_pmo k ~pages in
+    Probe.set_backing_pmo t.obs pmo.Treesls_cap.Kobj.pmo_id;
+    Probe.instant "obs.eternal_backing"
+      ~args:
+        [ ("pmo", string_of_int pmo.Treesls_cap.Kobj.pmo_id); ("pages", string_of_int pages) ]
+
+let enable_tracing ?(verbose = false) ?(eternal_backing = true) t =
+  Probe.install t.obs;
+  Probe.set_tracing t.obs true;
+  Probe.set_verbose t.obs verbose;
+  if eternal_backing then ensure_eternal_backing t
+
+let disable_tracing t = Probe.set_tracing t.obs false
+let export_trace ?pid ?tid t = Trace.to_perfetto_json ?pid ?tid (Probe.trace t.obs)
+
+let export_trace_file ?pid ?tid t ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (export_trace ?pid ?tid t))

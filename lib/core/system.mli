@@ -29,10 +29,13 @@ val boot :
   ?interval_us:int ->
   ?features:Treesls_ckpt.State.features ->
   ?active_cfg:Treesls_ckpt.Active_list.config ->
+  ?trace_capacity:int ->
   unit ->
   t
 (** Boot. [interval_us] enables periodic checkpointing (e.g. 1000 for the
-    paper's 1 ms / 1000 Hz configuration). *)
+    paper's 1 ms / 1000 Hz configuration).  Boot also creates and installs
+    this system's observability probe (metrics on, tracing off;
+    [trace_capacity] sizes the event ring — see {!enable_tracing}). *)
 
 val kernel : t -> Kernel.t
 (** The current runtime kernel ({b re-fetch after every recover}). *)
@@ -67,3 +70,31 @@ val crash_and_recover : t -> Restore.report
 
 val stats : t -> Kernel.stats
 (** Kernel counters (faults, syscalls) of the current kernel. *)
+
+(** {2 Observability}
+
+    Structured tracing and metrics for the whole system
+    ({!Treesls_obs}).  The trace ring and metrics registry are treated as
+    eternal-PMO state: they survive {!crash}/{!recover}, so a trace
+    recorded before a power failure is still exportable afterwards —
+    including the ["crash"] marker and the ["restore"] span themselves. *)
+
+val obs : t -> Treesls_obs.Probe.t
+val trace : t -> Treesls_obs.Trace.t
+
+val enable_tracing : ?verbose:bool -> ?eternal_backing:bool -> t -> unit
+(** Start recording trace events.  [verbose] additionally records the
+    per-operation tier ([nvm.alloc], [nvm.txn], [ipc.call]).
+    [eternal_backing] (default true) reserves an eternal PMO sized for the
+    ring (64 B/slot) so the buffer's NVM residency — the mechanism that
+    makes it crash-surviving — is visible in the capability tree and paid
+    for in the cost model at enable time. *)
+
+val disable_tracing : t -> unit
+
+val metrics_snapshot : t -> Treesls_obs.Metrics.snapshot
+
+val export_trace : ?pid:int -> ?tid:int -> t -> string
+(** Chrome/Perfetto [trace_event] JSON of the retained events. *)
+
+val export_trace_file : ?pid:int -> ?tid:int -> t -> path:string -> unit

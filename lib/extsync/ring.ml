@@ -99,7 +99,17 @@ let append t msg =
     true
   end
 
-let on_checkpoint t = write_cursor t 16 (writer t)
+let on_checkpoint t =
+  let w = writer t in
+  (* the extra [visible] cursor read costs simulated time, so only pay for
+     it when the trace is actually recording *)
+  (if Treesls_obs.Probe.tracing_enabled () then
+     let newly = w - visible t in
+     Treesls_obs.Probe.count "extsync.published" newly;
+     if newly > 0 then
+       Treesls_obs.Probe.instant "extsync.flush"
+         ~args:[ ("published", string_of_int newly); ("pmo", string_of_int t.pmo_id) ]);
+  write_cursor t 16 w
 
 let on_restore t =
   (* Messages beyond the visible cursor were never exposed: the rolled-back

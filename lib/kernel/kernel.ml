@@ -5,6 +5,7 @@ module Id_gen = Treesls_cap.Id_gen
 module Radix = Treesls_cap.Radix
 module Cost = Treesls_sim.Cost
 module Clock = Treesls_sim.Clock
+module Probe = Treesls_obs.Probe
 
 type process = {
   pid : int;
@@ -227,6 +228,7 @@ let swap_in_page t pmo ~pno slot =
   charge t (cost t).Cost.trap_ns;
   t.stats.page_faults <- t.stats.page_faults + 1;
   t.stats.swap_ins <- t.stats.swap_ins + 1;
+  Probe.count "kernel.faults.major" 1;
   let fresh = Store.swap_in t.store ~slot in
   Radix.set pmo.Kobj.pmo_radix pno fresh;
   List.iter (fun (pt, vpn) -> Pagetable.remap pt ~vpn ~paddr:fresh) (rmap_live t pmo pno);
@@ -264,6 +266,7 @@ let ensure_mapped t proc ~vpn ~for_write =
     charge t (cost t).Cost.trap_ns;
     t.stats.page_faults <- t.stats.page_faults + 1;
     t.stats.cow_faults <- t.stats.cow_faults + 1;
+    Probe.count "kernel.faults.cow" 1;
     cow_upgrade region (vpn - region.Kobj.vr_vpn);
     Pagetable.make_writable pt ~vpn;
     (* the CoW hook may have migrated the page; reload *)
@@ -320,6 +323,7 @@ let ensure_mapped t proc ~vpn ~for_write =
     | None ->
       (* first touch: allocate the page on NVM *)
       t.stats.alloc_faults <- t.stats.alloc_faults + 1;
+      Probe.count "kernel.faults.alloc" 1;
       let paddr = Store.alloc_page t.store in
       Radix.set region.Kobj.vr_pmo.Kobj.pmo_radix pno paddr;
       (match t.fresh_hook with Some h -> h region.Kobj.vr_pmo pno | None -> ());
@@ -381,6 +385,7 @@ let page_paddr t proc ~vpn =
 
 let syscall t ~work_ns =
   t.stats.syscalls <- t.stats.syscalls + 1;
+  Probe.count "kernel.syscalls" 1;
   charge t ((cost t).Cost.syscall_ns + work_ns)
 
 (* --- page migration support --------------------------------------------- *)

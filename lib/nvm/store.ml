@@ -1,5 +1,6 @@
 module Cost = Treesls_sim.Cost
 module Clock = Treesls_sim.Clock
+module Probe = Treesls_obs.Probe
 
 type sink = Clock_sink | Meter of int ref | Off
 
@@ -76,6 +77,8 @@ let with_sink t sink f =
 
 let alloc_page t =
   charge t (t.cost.Cost.alloc_page_ns + t.cost.Cost.journal_entry_ns);
+  Probe.count "nvm.alloc.pages" 1;
+  Probe.instant_v "nvm.alloc" ~args:[ ("kind", "page") ];
   match Buddy.alloc t.buddy ~order:0 with
   | Some idx -> Paddr.nvm idx
   | None -> raise Out_of_memory
@@ -83,6 +86,7 @@ let alloc_page t =
 let free_page t addr =
   if not (Paddr.is_nvm addr) then invalid_arg "Store.free_page: not an NVM page";
   charge t (t.cost.Cost.alloc_page_ns + t.cost.Cost.journal_entry_ns);
+  Probe.count "nvm.free.pages" 1;
   Hashtbl.remove t.seals addr;
   Buddy.free t.buddy ~offset:addr.Paddr.idx
 
@@ -162,6 +166,7 @@ let swap_out t ~src =
   | None -> None
   | Some slot ->
     charge t (ssd_page_ns t);
+    Probe.count "nvm.swap.outs" 1;
     Device.copy_page ~src:t.nvm ~src_idx:src.Paddr.idx ~dst:t.ssd ~dst_idx:slot.Paddr.idx;
     free_page t src;
     Some slot
@@ -170,6 +175,7 @@ let swap_in t ~slot =
   if not (Paddr.is_ssd slot) then invalid_arg "Store.swap_in: source must be an SSD slot";
   let dst = alloc_page t in
   charge t (ssd_page_ns t);
+  Probe.count "nvm.swap.ins" 1;
   Device.copy_page ~src:t.ssd ~src_idx:slot.Paddr.idx ~dst:t.nvm ~dst_idx:dst.Paddr.idx;
   free_ssd_page t slot;
   dst
@@ -178,12 +184,15 @@ let ssd_slots_free t = List.length t.ssd_free
 
 let alloc_obj t ~size =
   charge t (t.cost.Cost.alloc_small_ns + t.cost.Cost.journal_entry_ns);
+  Probe.count "nvm.alloc.objs" 1;
+  Probe.instant_v "nvm.alloc" ~args:[ ("kind", "obj"); ("size", string_of_int size) ];
   match Slab.alloc t.slab ~size with
   | Some h -> h
   | None -> raise Out_of_memory
 
 let free_obj t h =
   charge t (t.cost.Cost.alloc_small_ns + t.cost.Cost.journal_entry_ns);
+  Probe.count "nvm.free.objs" 1;
   Slab.free t.slab h
 
 let crash t =

@@ -64,7 +64,11 @@ let commit t ~desc writes =
   | _ -> ());
   t.log <- None;
   t.commits <- t.commits + 1;
-  t.words_written <- t.words_written + Array.length arr
+  t.words_written <- t.words_written + Array.length arr;
+  Treesls_obs.Probe.count "nvm.txn.commits" 1;
+  Treesls_obs.Probe.count "nvm.txn.words" (Array.length arr);
+  Treesls_obs.Probe.instant_v "nvm.txn"
+    ~args:[ ("desc", desc); ("words", string_of_int (Array.length arr)) ]
 
 let set_crash_plan t plan = t.crash_plan <- plan
 

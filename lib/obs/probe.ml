@@ -1,0 +1,94 @@
+module Clock = Treesls_sim.Clock
+
+type t = {
+  clock : Clock.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
+  mutable tracing : bool;
+  mutable verbose : bool;
+  mutable backing_pmo : int option;
+}
+
+(* The simulator is single-threaded, so "the installed probe" is a single
+   slot; booting a new system installs its probe (last boot wins).  Every
+   emitter below is a no-op costing one load + branch when nothing is
+   installed — the instrumented hot paths pay nothing measurable, and
+   never any *simulated* time. *)
+let current : t option ref = ref None
+
+let create ?(capacity = 4096) ~clock () =
+  {
+    clock;
+    trace = Trace.create ~capacity ();
+    metrics = Metrics.create ();
+    tracing = false;
+    verbose = false;
+    backing_pmo = None;
+  }
+
+let install t = current := Some t
+let uninstall () = current := None
+let installed () = !current
+
+let clock t = t.clock
+let trace t = t.trace
+let metrics t = t.metrics
+
+let set_tracing t on = t.tracing <- on
+let tracing t = t.tracing
+let set_verbose t on = t.verbose <- on
+let verbose t = t.verbose
+let set_backing_pmo t id = t.backing_pmo <- Some id
+let backing_pmo t = t.backing_pmo
+
+let tracing_enabled () = match !current with Some t -> t.tracing | None -> false
+
+(* --- trace emitters --------------------------------------------------- *)
+
+let enter ?args name =
+  match !current with
+  | Some t when t.tracing -> Trace.begin_span t.trace ~now:(Clock.now t.clock) ?args name
+  | Some _ | None -> 0
+
+let exit ?args token =
+  if token <> 0 then
+    match !current with
+    | Some t -> Trace.end_span t.trace ~now:(Clock.now t.clock) ?args token
+    | None -> ()
+
+let instant ?args name =
+  match !current with
+  | Some t when t.tracing -> Trace.instant t.trace ~now:(Clock.now t.clock) ?args name
+  | Some _ | None -> ()
+
+let span_at ?args name ~ts_ns ~dur_ns =
+  match !current with
+  | Some t when t.tracing -> Trace.complete t.trace ?args name ~ts_ns ~dur_ns
+  | Some _ | None -> ()
+
+(* verbose tier: per-operation events (nvm.alloc, nvm.txn, ipc.call) that
+   would otherwise flood the ring during a single checkpoint *)
+
+let enter_v ?args name =
+  match !current with
+  | Some t when t.tracing && t.verbose -> Trace.begin_span t.trace ~now:(Clock.now t.clock) ?args name
+  | Some _ | None -> 0
+
+let instant_v ?args name =
+  match !current with
+  | Some t when t.tracing && t.verbose -> Trace.instant t.trace ~now:(Clock.now t.clock) ?args name
+  | Some _ | None -> ()
+
+let crash_mark () =
+  match !current with
+  | Some t when t.tracing ->
+    let now = Clock.now t.clock in
+    Trace.abort_open t.trace ~now;
+    Trace.instant t.trace ~now "crash"
+  | Some _ | None -> ()
+
+(* --- metrics emitters ------------------------------------------------- *)
+
+let count name n = match !current with Some t -> Metrics.add t.metrics name n | None -> ()
+let gauge name v = match !current with Some t -> Metrics.set_gauge t.metrics name v | None -> ()
+let observe name ns = match !current with Some t -> Metrics.observe t.metrics name ns | None -> ()

@@ -1,0 +1,67 @@
+(** Zero-cost-when-disabled observability hooks.
+
+    The kernel, checkpoint manager, NVM allocator/journal and external
+    synchrony ring are instrumented through this module's static emitters
+    rather than holding a trace handle each: call sites pay one load and
+    branch when no probe is installed, and emitters never advance the
+    simulated clock, so observability cannot perturb a measurement.
+
+    A probe bundles a {!Trace} ring, a {!Metrics} registry and the
+    {!Treesls_sim.Clock} that timestamps both.  [Treesls.System.boot]
+    creates and installs one per system (last boot wins — the simulator is
+    single-threaded).  Metrics are always collected while a probe is
+    installed; trace events additionally require {!set_tracing}, and the
+    per-operation firehose ([nvm.alloc], [nvm.txn], [ipc.call]) also
+    requires {!set_verbose}. *)
+
+type t
+
+val create : ?capacity:int -> clock:Treesls_sim.Clock.t -> unit -> t
+(** [capacity] is the trace ring size (default 4096 events). *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val installed : unit -> t option
+
+val clock : t -> Treesls_sim.Clock.t
+val trace : t -> Trace.t
+val metrics : t -> Metrics.t
+
+val set_tracing : t -> bool -> unit
+val tracing : t -> bool
+val set_verbose : t -> bool -> unit
+val verbose : t -> bool
+
+val set_backing_pmo : t -> int -> unit
+val backing_pmo : t -> int option
+(** Id of the eternal PMO reserved as the ring's NVM backing (set by
+    [System.enable_tracing]); [None] while tracing is off. *)
+
+val tracing_enabled : unit -> bool
+
+(** {2 Trace emitters} — no-ops (returning 0 where applicable) unless a
+    probe is installed with tracing on. *)
+
+val enter : ?args:(string * string) list -> string -> int
+val exit : ?args:(string * string) list -> int -> unit
+(** Open/close a nested span.  [exit 0] is a no-op, so call sites need no
+    disabled-check of their own. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+
+val span_at : ?args:(string * string) list -> string -> ts_ns:int -> dur_ns:int -> unit
+(** Record a span with explicit timestamps (overlapping/parallel work). *)
+
+val enter_v : ?args:(string * string) list -> string -> int
+val instant_v : ?args:(string * string) list -> string -> unit
+(** Verbose-tier variants: additionally gated on {!set_verbose}. *)
+
+val crash_mark : unit -> unit
+(** Close all open spans as [aborted=true] and record a ["crash"] instant —
+    called by the checkpoint manager when a power failure is injected. *)
+
+(** {2 Metrics emitters} — active whenever a probe is installed. *)
+
+val count : string -> int -> unit
+val gauge : string -> int -> unit
+val observe : string -> int -> unit

@@ -1,0 +1,162 @@
+type phase = Complete | Instant
+
+type event = {
+  seq : int;
+  name : string;
+  cat : string;
+  ph : phase;
+  ts_ns : int;
+  dur_ns : int;
+  id : int;
+  parent : int;
+  args : (string * string) list;
+}
+
+type open_span = {
+  os_id : int;
+  os_name : string;
+  os_t0 : int;
+  os_parent : int;
+  os_args : (string * string) list;
+}
+
+type t = {
+  cap : int;
+  buf : event option array;
+  mutable total : int; (* events ever recorded; write index = total mod cap *)
+  mutable next_id : int;
+  mutable stack : open_span list;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { cap = capacity; buf = Array.make capacity None; total = 0; next_id = 1; stack = [] }
+
+let capacity t = t.cap
+let total t = t.total
+let length t = min t.total t.cap
+let dropped t = if t.total > t.cap then t.total - t.cap else 0
+let open_spans t = List.length t.stack
+
+(* the category is the event-name prefix: "ckpt.captree" -> "ckpt" *)
+let cat_of name = match String.index_opt name '.' with None -> name | Some i -> String.sub name 0 i
+
+let record t ~name ~ph ~ts_ns ~dur_ns ~id ~parent ~args =
+  t.buf.(t.total mod t.cap) <-
+    Some { seq = t.total; name; cat = cat_of name; ph; ts_ns; dur_ns; id; parent; args };
+  t.total <- t.total + 1
+
+let current_parent t = match t.stack with [] -> 0 | s :: _ -> s.os_id
+
+let begin_span t ~now ?(args = []) name =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.stack <- { os_id = id; os_name = name; os_t0 = now; os_parent = current_parent t; os_args = args } :: t.stack;
+  id
+
+let close_span t ~now ~extra_args s =
+  record t ~name:s.os_name ~ph:Complete ~ts_ns:s.os_t0 ~dur_ns:(now - s.os_t0) ~id:s.os_id
+    ~parent:s.os_parent ~args:(s.os_args @ extra_args)
+
+let end_span t ~now ?(args = []) id =
+  match List.partition (fun s -> s.os_id = id) t.stack with
+  | [ s ], rest ->
+    t.stack <- rest;
+    close_span t ~now ~extra_args:args s
+  | _, _ -> () (* unknown or double-ended span id: ignore *)
+
+let instant t ~now ?(args = []) name =
+  record t ~name ~ph:Instant ~ts_ns:now ~dur_ns:0 ~id:0 ~parent:(current_parent t) ~args
+
+let complete t ?(args = []) name ~ts_ns ~dur_ns =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  record t ~name ~ph:Complete ~ts_ns ~dur_ns ~id ~parent:(current_parent t) ~args
+
+let abort_open t ~now =
+  List.iter (fun s -> close_span t ~now ~extra_args:[ ("aborted", "true") ] s) t.stack;
+  t.stack <- []
+
+let events t =
+  let n = length t in
+  let first = t.total - n in
+  List.init n (fun i ->
+      match t.buf.((first + i) mod t.cap) with
+      | Some e -> e
+      | None -> assert false (* slots below [length] are always filled *))
+
+let clear t =
+  Array.fill t.buf 0 t.cap None;
+  t.total <- 0;
+  t.stack <- []
+
+(* ------------------------------------------------------------------ *)
+(* Chrome/Perfetto trace_event JSON export.  No JSON library is baked
+   into the container, so the (flat, simple) format is emitted by hand. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* trace_event timestamps are in microseconds; keep ns precision with a
+   fractional part *)
+let us ns = Printf.sprintf "%.3f" (float_of_int ns /. 1e3)
+
+let event_json ~pid ~tid b e =
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d"
+       (json_escape e.name) (json_escape e.cat)
+       (match e.ph with Complete -> "X" | Instant -> "i")
+       (us e.ts_ns) pid tid);
+  (match e.ph with
+  | Complete -> Buffer.add_string b (Printf.sprintf ",\"dur\":%s" (us e.dur_ns))
+  | Instant -> Buffer.add_string b ",\"s\":\"t\"");
+  Buffer.add_string b ",\"args\":{";
+  let args =
+    [ ("seq", string_of_int e.seq) ]
+    @ (if e.id <> 0 then [ ("span", string_of_int e.id) ] else [])
+    @ (if e.parent <> 0 then [ ("parent", string_of_int e.parent) ] else [])
+    @ e.args
+  in
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    args;
+  Buffer.add_string b "}}"
+
+let to_perfetto_json ?(pid = 1) ?(tid = 1) t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      event_json ~pid ~tid b e)
+    (events t);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let pp_event ppf e =
+  let args =
+    match e.args with
+    | [] -> ""
+    | l -> " " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+  in
+  match e.ph with
+  | Complete ->
+    Format.fprintf ppf "[%8d] %10.3fus +%10.3fus %-20s%s" e.seq
+      (float_of_int e.ts_ns /. 1e3) (float_of_int e.dur_ns /. 1e3) e.name args
+  | Instant ->
+    Format.fprintf ppf "[%8d] %10.3fus %12s %-20s%s" e.seq (float_of_int e.ts_ns /. 1e3) "" e.name
+      args

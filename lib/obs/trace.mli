@@ -1,0 +1,75 @@
+(** Fixed-capacity ring buffer of structured trace events.
+
+    The buffer is the simulator's analogue of a trace ring living in an
+    eternal PMO: once created it never grows, wraps around overwriting the
+    oldest events, and — because it is reachable from the checkpoint
+    manager rather than the (volatile) runtime kernel tree — its contents
+    survive a simulated crash and restore.  Timestamps are simulated
+    nanoseconds from {!Treesls_sim.Clock}.
+
+    Span events nest: {!begin_span} pushes onto an open-span stack, and the
+    event is recorded at {!end_span} time carrying the begin timestamp, the
+    duration, and the enclosing span's id.  Instants record immediately
+    under the currently open span. *)
+
+type phase = Complete | Instant
+
+type event = {
+  seq : int;  (** global record index, monotonically increasing *)
+  name : string;  (** e.g. ["ckpt.captree"] *)
+  cat : string;  (** name prefix before the first ['.'] *)
+  ph : phase;
+  ts_ns : int;  (** span begin (or instant) time *)
+  dur_ns : int;  (** 0 for instants *)
+  id : int;  (** span id; 0 for instants *)
+  parent : int;  (** enclosing span id; 0 at top level *)
+  args : (string * string) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring of at most [capacity] (default 4096) events. *)
+
+val begin_span : t -> now:int -> ?args:(string * string) list -> string -> int
+(** Open a span; returns its id (pass to {!end_span}). *)
+
+val end_span : t -> now:int -> ?args:(string * string) list -> int -> unit
+(** Close an open span and record it; [args] are appended to the begin-time
+    args.  Unknown ids are ignored. *)
+
+val instant : t -> now:int -> ?args:(string * string) list -> string -> unit
+
+val complete : t -> ?args:(string * string) list -> string -> ts_ns:int -> dur_ns:int -> unit
+(** Record a span with explicit timestamps — used for work that is modelled
+    as overlapping the leader (e.g. the parallel hybrid copy), where
+    enter/exit around the host-order code would measure nothing. *)
+
+val abort_open : t -> now:int -> unit
+(** Close every open span with an [aborted=true] arg — called when a crash
+    ends them mid-flight. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val length : t -> int
+val total : t -> int
+(** Events currently retained / ever recorded. *)
+
+val dropped : t -> int
+(** Events lost to wraparound ([total - length]). *)
+
+val capacity : t -> int
+val open_spans : t -> int
+val clear : t -> unit
+
+val to_perfetto_json : ?pid:int -> ?tid:int -> t -> string
+(** Chrome/Perfetto [trace_event] JSON ([{"traceEvents":[...]}]): spans as
+    ["ph":"X"] complete events, instants as ["ph":"i"]; [ts]/[dur] in
+    microseconds with nanosecond precision.  Load in Perfetto UI or
+    [chrome://tracing]. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val json_escape : string -> string
+(** JSON string-body escaping, shared with {!Metrics}'s JSON dump. *)

@@ -1,15 +1,27 @@
 type t = {
   sub_buckets : int;
   counts : int array; (* octave * sub_buckets + sub index *)
+  bucket_max : int array; (* largest recorded value per bucket *)
+  bucket_min : int array; (* smallest recorded value per bucket *)
   mutable n : int;
   mutable sum : int;
   mutable maxv : int;
+  mutable minv : int;
 }
 
 let octaves = 48
 
 let create ?(sub_buckets = 16) () =
-  { sub_buckets; counts = Array.make (octaves * sub_buckets) 0; n = 0; sum = 0; maxv = 0 }
+  {
+    sub_buckets;
+    counts = Array.make (octaves * sub_buckets) 0;
+    bucket_max = Array.make (octaves * sub_buckets) 0;
+    bucket_min = Array.make (octaves * sub_buckets) max_int;
+    n = 0;
+    sum = 0;
+    maxv = 0;
+    minv = max_int;
+  }
 
 let bucket_index t v =
   if v < t.sub_buckets then v
@@ -23,30 +35,23 @@ let bucket_index t v =
     ((octave + 1) * t.sub_buckets) + sub
   end
 
-let bucket_upper t idx =
-  if idx < t.sub_buckets then idx
-  else begin
-    let octave = (idx / t.sub_buckets) - 1 in
-    let sub = idx mod t.sub_buckets in
-    let low_bits = Bits.log2_int t.sub_buckets in
-    let base = 1 lsl (octave + low_bits) in
-    let step = base / t.sub_buckets in
-    base + ((sub + 1) * step) - 1
-  end
-
 let add t v =
   let v = if v < 0 then 0 else v in
   let idx = bucket_index t v in
   let idx = if idx >= Array.length t.counts then Array.length t.counts - 1 else idx in
   t.counts.(idx) <- t.counts.(idx) + 1;
+  if v > t.bucket_max.(idx) then t.bucket_max.(idx) <- v;
+  if v < t.bucket_min.(idx) then t.bucket_min.(idx) <- v;
   t.n <- t.n + 1;
   t.sum <- t.sum + v;
-  if v > t.maxv then t.maxv <- v
+  if v > t.maxv then t.maxv <- v;
+  if v < t.minv then t.minv <- v
 
 let count t = t.n
 let total t = t.sum
 let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
 let max_value t = t.maxv
+let min_value t = if t.n = 0 then 0 else t.minv
 
 let percentile t p =
   if t.n = 0 then 0
@@ -59,7 +64,12 @@ let percentile t p =
        for i = 0 to Array.length t.counts - 1 do
          acc := !acc + t.counts.(i);
          if !acc >= target then begin
-           result := bucket_upper t i;
+           (* Report the largest *recorded* value in the bucket rather than
+              the bucket's theoretical upper bound: with few samples the
+              upper bound can overstate a p99 by a whole bucket width, while
+              an observed value is off by at most the spread of samples
+              actually inside the bucket. *)
+           result := t.bucket_max.(i);
            raise Exit
          end
        done
@@ -69,6 +79,9 @@ let percentile t p =
 
 let clear t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
+  Array.fill t.bucket_max 0 (Array.length t.bucket_max) 0;
+  Array.fill t.bucket_min 0 (Array.length t.bucket_min) max_int;
   t.n <- 0;
   t.sum <- 0;
-  t.maxv <- 0
+  t.maxv <- 0;
+  t.minv <- max_int

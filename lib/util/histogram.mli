@@ -17,7 +17,20 @@ val total : t -> int
 val mean : t -> float
 
 val percentile : t -> float -> int
-(** Upper bound of the bucket containing the given percentile. *)
+(** Largest {e recorded} value in the bucket containing the requested
+    percentile (each bucket tracks the min/max of its samples).
+
+    Error bound: the result is always one of the recorded values, never
+    exceeds {!max_value}, and overstates the true percentile by at most
+    the spread of samples within one bucket — bounded by the bucket
+    width, i.e. a relative error of at most [1/sub_buckets] (6.25% for
+    the default 16 sub-buckets).  In particular a low-sample p99 can no
+    longer report a value larger than anything ever recorded, which the
+    previous bucket-upper-bound scheme did. *)
 
 val max_value : t -> int
+
+val min_value : t -> int
+(** Smallest recorded value; 0 when empty. *)
+
 val clear : t -> unit

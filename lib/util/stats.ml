@@ -70,6 +70,10 @@ let percentile t p =
     let frac = rank -. float_of_int lo in
     t.data.(lo) +. (frac *. (t.data.(hi) -. t.data.(lo)))
 
+let percentile_opt t p = if t.len = 0 then None else Some (percentile t p)
+let min_opt t = if t.len = 0 then None else Some (min t)
+let max_opt t = if t.len = 0 then None else Some (max t)
+
 let p50 t = percentile t 50.0
 let p95 t = percentile t 95.0
 let p99 t = percentile t 99.0

@@ -17,6 +17,14 @@ val percentile : t -> float -> float
 (** [percentile t p] with [p] in [\[0,100\]]; linear interpolation between
     order statistics. Raises [Invalid_argument] on an empty collection. *)
 
+val percentile_opt : t -> float -> float option
+(** Like {!percentile} but [None] on an empty collection, so reporting
+    code can print "n/a" instead of crashing a whole experiment run. *)
+
+val min_opt : t -> float option
+val max_opt : t -> float option
+(** Non-raising variants of {!min} / {!max}; [None] when empty. *)
+
 val p50 : t -> float
 val p95 : t -> float
 val p99 : t -> float

@@ -1,0 +1,397 @@
+(* Observability tests: the trace ring (wraparound, nesting, crash
+   survival), the Perfetto exporter (validated with a hand-rolled JSON
+   parser — the container bakes in no JSON library), the metrics registry,
+   and the two properties the subsystem promises the rest of the repo:
+   events reconcile exactly with the checkpoint Report, and tracing that is
+   off records nothing and costs no simulated time. *)
+
+module Trace = Treesls_obs.Trace
+module Metrics = Treesls_obs.Metrics
+module Probe = Treesls_obs.Probe
+module System = Treesls.System
+module Report = Treesls_ckpt.Report
+module Kv_app = Treesls_apps.Kv_app
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- trace ring ---- *)
+
+let ring_wraparound () =
+  let tr = Trace.create ~capacity:8 () in
+  for i = 0 to 19 do
+    Trace.instant tr ~now:(i * 10) (Printf.sprintf "e%d" i)
+  done;
+  check_int "length capped" 8 (Trace.length tr);
+  check_int "total keeps counting" 20 (Trace.total tr);
+  check_int "dropped" 12 (Trace.dropped tr);
+  let evs = Trace.events tr in
+  check_int "oldest retained is seq 12" 12 (List.hd evs).Trace.seq;
+  check_int "newest retained is seq 19" 19 (List.nth evs 7).Trace.seq;
+  (* oldest-first and contiguous *)
+  List.iteri (fun i e -> check_int "seq order" (12 + i) e.Trace.seq) evs;
+  Trace.clear tr;
+  check_int "clear empties" 0 (Trace.length tr);
+  check_int "clear resets total" 0 (Trace.total tr)
+
+let span_nesting () =
+  let tr = Trace.create () in
+  let a = Trace.begin_span tr ~now:0 "outer" in
+  let b = Trace.begin_span tr ~now:10 "inner" in
+  Trace.instant tr ~now:15 "mark";
+  Trace.end_span tr ~now:20 b;
+  Trace.end_span tr ~now:50 ~args:[ ("k", "v") ] a;
+  (* spans are recorded at close time: mark, inner, outer *)
+  match Trace.events tr with
+  | [ mark; inner; outer ] ->
+    check_int "instant nests under inner" b mark.Trace.parent;
+    check_int "inner nests under outer" a inner.Trace.parent;
+    check_int "outer is top-level" 0 outer.Trace.parent;
+    check_int "inner ts" 10 inner.Trace.ts_ns;
+    check_int "inner dur" 10 inner.Trace.dur_ns;
+    check_int "outer dur" 50 outer.Trace.dur_ns;
+    check_bool "end-time args kept" true (List.mem_assoc "k" outer.Trace.args);
+    check_bool "category from prefix" true (outer.Trace.cat = "outer");
+    check_int "no open spans left" 0 (Trace.open_spans tr)
+  | l -> Alcotest.failf "expected 3 events, got %d" (List.length l)
+
+let unknown_span_ignored () =
+  let tr = Trace.create () in
+  Trace.end_span tr ~now:5 12345;
+  check_int "nothing recorded" 0 (Trace.length tr)
+
+let abort_marks_open_spans () =
+  let tr = Trace.create () in
+  ignore (Trace.begin_span tr ~now:0 "outer");
+  ignore (Trace.begin_span tr ~now:5 "inner");
+  Trace.abort_open tr ~now:7;
+  check_int "all closed" 0 (Trace.open_spans tr);
+  check_int "both recorded" 2 (Trace.length tr);
+  List.iter
+    (fun e ->
+      check_bool "flagged aborted" true (List.assoc_opt "aborted" e.Trace.args = Some "true"))
+    (Trace.events tr)
+
+(* ---- minimal JSON parser, to validate the hand-rolled exporter ---- *)
+
+type json =
+  | JNull
+  | JBool of bool
+  | JNum of float
+  | JStr of string
+  | JArr of json list
+  | JObj of (string * json) list
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = Alcotest.failf "JSON parse error at %d: %s" !pos msg in
+  let peek () = if !pos < n then s.[!pos] else fail "unexpected end of input" in
+  let next () =
+    let c = peek () in
+    incr pos;
+    c
+  in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c = if next () <> c then fail (Printf.sprintf "expected '%c'" c) in
+  let lit word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+        (match next () with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          let hex = String.init 4 (fun _ -> next ()) in
+          Buffer.add_char b (Char.chr (int_of_string ("0x" ^ hex) land 0xff))
+        | c -> fail (Printf.sprintf "bad escape '%c'" c));
+        go ()
+      | c when Char.code c < 0x20 -> fail "unescaped control character"
+      | c ->
+        Buffer.add_char b c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> JNum f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      expect '{';
+      skip_ws ();
+      if peek () = '}' then (
+        ignore (next ());
+        JObj [])
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match next () with
+          | ',' -> members ((k, v) :: acc)
+          | '}' -> JObj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+    | '[' ->
+      expect '[';
+      skip_ws ();
+      if peek () = ']' then (
+        ignore (next ());
+        JArr [])
+      else
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match next () with
+          | ',' -> elems (v :: acc)
+          | ']' -> JArr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elems []
+    | '"' -> JStr (parse_string ())
+    | 't' -> lit "true" (JBool true)
+    | 'f' -> lit "false" (JBool false)
+    | 'n' -> lit "null" JNull
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let obj_field f = function
+  | JObj fields -> (
+    match List.assoc_opt f fields with
+    | Some v -> v
+    | None -> Alcotest.failf "missing field %s" f)
+  | _ -> Alcotest.failf "expected object around %s" f
+
+let str = function JStr s -> s | _ -> Alcotest.fail "expected string"
+let num = function JNum f -> f | _ -> Alcotest.fail "expected number"
+
+let perfetto_json_wellformed () =
+  let tr = Trace.create () in
+  let a = Trace.begin_span tr ~now:1_000 ~args:[ ("quote", "a\"b"); ("nl", "x\ny") ] "ckpt.stw" in
+  Trace.instant tr ~now:1_500 "mark\\back";
+  Trace.end_span tr ~now:2_000 a;
+  Trace.complete tr "ckpt.hybrid_copy" ~ts_ns:1_100 ~dur_ns:700;
+  let j = parse_json (Trace.to_perfetto_json ~pid:7 ~tid:3 tr) in
+  let evs = match obj_field "traceEvents" j with JArr l -> l | _ -> Alcotest.fail "array" in
+  check_int "three events" 3 (List.length evs);
+  List.iter
+    (fun e ->
+      check_bool "has name" true (str (obj_field "name" e) <> "");
+      check_int "pid plumbed" 7 (int_of_float (num (obj_field "pid" e)));
+      check_int "tid plumbed" 3 (int_of_float (num (obj_field "tid" e)));
+      match str (obj_field "ph" e) with
+      | "X" -> ignore (num (obj_field "dur" e))
+      | "i" -> ignore (str (obj_field "s" e))
+      | ph -> Alcotest.failf "unexpected ph %s" ph)
+    evs;
+  (* escaping round-trips through a real parser *)
+  let instant = List.nth evs 0 in
+  check_bool "escaped name" true (str (obj_field "name" instant) = "mark\\back");
+  check_int "instant nests under stw" a
+    (int_of_string (str (obj_field "parent" (obj_field "args" instant))));
+  let stw = List.nth evs 1 in
+  check_bool "arg with quote survives" true
+    (str (obj_field "quote" (obj_field "args" stw)) = "a\"b");
+  check_bool "arg with newline survives" true
+    (str (obj_field "nl" (obj_field "args" stw)) = "x\ny");
+  (* ts/dur are microseconds with ns precision: 1000ns -> 1.0us *)
+  Alcotest.(check (float 1e-9)) "ts in us" 1.0 (num (obj_field "ts" stw));
+  Alcotest.(check (float 1e-9)) "dur in us" 1.0 (num (obj_field "dur" stw))
+
+(* ---- metrics ---- *)
+
+let metrics_snapshot_reset () =
+  let m = Metrics.create () in
+  Metrics.add m "c" 2;
+  Metrics.add m "c" 3;
+  Metrics.add m "b" 1;
+  Metrics.set_gauge m "g" 7;
+  Metrics.set_gauge m "g" 9;
+  Metrics.observe m "t" 100;
+  Metrics.observe m "t" 200;
+  let s = Metrics.snapshot m in
+  check_bool "counters sorted, summed" true (s.Metrics.counters = [ ("b", 1); ("c", 5) ]);
+  check_int "gauge keeps last write" 9 (List.assoc "g" s.Metrics.gauges);
+  let tm = List.assoc "t" s.Metrics.timers in
+  check_int "timer count" 2 tm.Metrics.tm_count;
+  check_int "timer total" 300 tm.Metrics.tm_total_ns;
+  check_int "timer max" 200 tm.Metrics.tm_max_ns;
+  check_int "counter_value" 5 (Metrics.counter_value m "c");
+  check_int "untouched name reads 0" 0 (Metrics.counter_value m "nope");
+  (* JSON dump parses and carries the sections *)
+  (match parse_json (Metrics.snapshot_to_json s) with
+  | JObj f ->
+    check_bool "json sections" true
+      (List.mem_assoc "counters" f && List.mem_assoc "gauges" f && List.mem_assoc "timers" f)
+  | _ -> Alcotest.fail "metrics json not an object");
+  Metrics.reset m;
+  let s2 = Metrics.snapshot m in
+  check_bool "reset empties everything" true
+    (s2.Metrics.counters = [] && s2.Metrics.gauges = [] && s2.Metrics.timers = [])
+
+(* ---- whole-system: crash survival, reconciliation, zero cost ---- *)
+
+let find_events tr name = List.filter (fun e -> e.Trace.name = name) (Trace.events tr)
+
+let trace_survives_crash () =
+  let sys = System.boot () in
+  System.enable_tracing sys;
+  let app = Kv_app.launch ~keys_hint:2_000 sys Kv_app.Memcached in
+  for i = 0 to 49 do
+    Kv_app.set_i app i
+  done;
+  ignore (System.checkpoint sys);
+  Probe.instant ~args:[ ("witness", "42") ] "test.pre_crash_marker";
+  ignore (System.crash_and_recover sys);
+  Kv_app.refresh app;
+  let tr = System.trace sys in
+  (* the ring is eternal state: everything recorded before the power
+     failure is still there, followed by the crash marker and the
+     restore span *)
+  check_int "pre-crash marker survived" 1 (List.length (find_events tr "test.pre_crash_marker"));
+  check_bool "pre-crash checkpoint spans survived" true (find_events tr "ckpt.stw" <> []);
+  check_int "crash marked" 1 (List.length (find_events tr "crash"));
+  check_int "restore recorded" 1 (List.length (find_events tr "restore"));
+  let seq name = (List.hd (find_events tr name)).Trace.seq in
+  check_bool "marker before crash" true (seq "test.pre_crash_marker" < seq "crash");
+  check_bool "crash before restore" true (seq "crash" < seq "restore");
+  check_bool "marker args intact" true
+    (List.assoc_opt "witness" (List.hd (find_events tr "test.pre_crash_marker")).Trace.args
+    = Some "42");
+  check_bool "ring has eternal PMO backing" true (Probe.backing_pmo (System.obs sys) <> None);
+  (* the metrics registry is eternal too *)
+  let m = Probe.metrics (System.obs sys) in
+  check_int "crash counted" 1 (Metrics.counter_value m "crashes");
+  check_int "restore counted" 1 (Metrics.counter_value m "restore.runs");
+  check_bool "pre-crash ckpt.runs survived" true (Metrics.counter_value m "ckpt.runs" >= 1)
+
+let reconcile_with_report () =
+  let sys = System.boot () in
+  System.enable_tracing sys;
+  let app = Kv_app.launch ~keys_hint:2_000 sys Kv_app.Memcached in
+  for i = 0 to 199 do
+    Kv_app.set_i app i
+  done;
+  ignore (System.checkpoint sys);
+  for i = 200 to 399 do
+    Kv_app.set_i app i
+  done;
+  let r = System.checkpoint sys in
+  let tr = System.trace sys in
+  let stw = List.hd (List.rev (find_events tr "ckpt.stw")) in
+  let child name =
+    List.fold_left
+      (fun acc (e : Trace.event) ->
+        if e.Trace.name = name && e.Trace.parent = stw.Trace.id then acc + e.Trace.dur_ns
+        else acc)
+      0 (Trace.events tr)
+  in
+  (* every Report field is visible as a span, exactly *)
+  check_int "stw span = Report.stw_ns" r.Report.stw_ns stw.Trace.dur_ns;
+  check_int "captree span = Report.captree_ns" r.Report.captree_ns (child "ckpt.captree");
+  check_int "others span = Report.others_ns" r.Report.others_ns (child "ckpt.others");
+  check_int "hybrid span = Report.hybrid_ns" r.Report.hybrid_ns (child "ckpt.hybrid_copy");
+  check_int "quiesce+resume = Report.ipi_ns" r.Report.ipi_ns
+    (child "ckpt.quiesce" + child "ckpt.resume");
+  (* and the children reconcile with the pause: the hybrid copy overlaps
+     the walk, so only its excess extends the STW window *)
+  check_int "children sum to the pause" stw.Trace.dur_ns
+    (child "ckpt.quiesce" + child "ckpt.captree"
+    + max 0 (child "ckpt.hybrid_copy" - child "ckpt.captree")
+    + child "ckpt.others" + child "ckpt.resume")
+
+let verbose_tier () =
+  let sys = System.boot () in
+  System.enable_tracing sys;
+  (* verbose off: the per-operation firehose stays silent *)
+  let app = Kv_app.launch ~keys_hint:2_000 sys Kv_app.Memcached in
+  for i = 0 to 49 do
+    Kv_app.set_i app i
+  done;
+  let tr = System.trace sys in
+  check_int "no firehose by default" 0 (List.length (find_events tr "nvm.alloc"));
+  Probe.set_verbose (System.obs sys) true;
+  for i = 50 to 99 do
+    Kv_app.set_i app i
+  done;
+  check_bool "firehose when verbose" true (find_events tr "nvm.alloc" <> [])
+
+let run_workload sys =
+  let app = Kv_app.launch ~keys_hint:2_000 sys Kv_app.Memcached in
+  for i = 0 to 499 do
+    Kv_app.set_i app i;
+    ignore (System.tick sys)
+  done
+
+let disabled_tracing_is_free () =
+  (* identical run, tracing off vs on (even verbose): same simulated time,
+     because emitters read the clock but never advance it *)
+  let sys_plain = System.boot ~interval_us:1000 () in
+  run_workload sys_plain;
+  let t_plain = System.now_ns sys_plain in
+  check_int "disabled records nothing" 0 (Trace.length (System.trace sys_plain));
+  let sys_traced = System.boot ~interval_us:1000 () in
+  System.enable_tracing ~verbose:true ~eternal_backing:false sys_traced;
+  run_workload sys_traced;
+  let t_traced = System.now_ns sys_traced in
+  check_bool "enabled records events" true (Trace.length (System.trace sys_traced) > 0);
+  check_int "tracing costs no simulated time" t_plain t_traced
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "ring wraparound" `Quick ring_wraparound;
+          Alcotest.test_case "span nesting" `Quick span_nesting;
+          Alcotest.test_case "unknown span id ignored" `Quick unknown_span_ignored;
+          Alcotest.test_case "abort marks open spans" `Quick abort_marks_open_spans;
+        ] );
+      ( "perfetto",
+        [ Alcotest.test_case "export is well-formed JSON" `Quick perfetto_json_wellformed ] );
+      ("metrics", [ Alcotest.test_case "snapshot and reset" `Quick metrics_snapshot_reset ]);
+      ( "system",
+        [
+          Alcotest.test_case "trace survives crash+restore" `Quick trace_survives_crash;
+          Alcotest.test_case "spans reconcile with Report" `Quick reconcile_with_report;
+          Alcotest.test_case "verbose tier gating" `Quick verbose_tier;
+          Alcotest.test_case "disabled tracing is free" `Quick disabled_tracing_is_free;
+        ] );
+    ]

@@ -167,6 +167,16 @@ let stats_clear () =
   Stats.clear s;
   check_int "cleared" 0 (Stats.count s)
 
+let stats_opt_accessors () =
+  let s = Stats.create () in
+  check_bool "empty percentile_opt" true (Stats.percentile_opt s 50.0 = None);
+  check_bool "empty min_opt" true (Stats.min_opt s = None);
+  check_bool "empty max_opt" true (Stats.max_opt s = None);
+  List.iter (Stats.add s) [ 10.0; 20.0 ];
+  check_float "percentile_opt agrees" 15.0 (Option.get (Stats.percentile_opt s 50.0));
+  check_float "min_opt agrees" 10.0 (Option.get (Stats.min_opt s));
+  check_float "max_opt agrees" 20.0 (Option.get (Stats.max_opt s))
+
 let stats_growth () =
   let s = Stats.create () in
   for i = 1 to 1000 do
@@ -210,6 +220,20 @@ let hist_negative_clamped () =
   let h = Histogram.create () in
   Histogram.add h (-5);
   check_int "clamped to zero" 0 (Histogram.percentile h 50.0)
+
+let hist_percentile_is_recorded_value () =
+  (* after the per-bucket min/max fix, a percentile is always one of the
+     values actually recorded — never a synthetic bucket upper bound *)
+  let h = Histogram.create () in
+  let vals = [ 3; 17; 1_000; 123_456; 123_456; 999_999 ] in
+  List.iter (Histogram.add h) vals;
+  List.iter
+    (fun p ->
+      let v = Histogram.percentile h p in
+      check_bool (Printf.sprintf "p%.0f is a recorded value" p) true (List.mem v vals))
+    [ 0.0; 25.0; 50.0; 75.0; 99.0; 100.0 ];
+  check_int "p100 is the max" 999_999 (Histogram.percentile h 100.0);
+  check_int "min_value" 3 (Histogram.min_value h)
 
 let hist_clear () =
   let h = Histogram.create () in
@@ -333,6 +357,7 @@ let () =
           Alcotest.test_case "stddev" `Quick stats_stddev;
           Alcotest.test_case "merge" `Quick stats_merge;
           Alcotest.test_case "add after sort" `Quick stats_add_after_sort;
+          Alcotest.test_case "opt accessors" `Quick stats_opt_accessors;
           Alcotest.test_case "clear" `Quick stats_clear;
           Alcotest.test_case "growth" `Quick stats_growth;
         ] );
@@ -343,6 +368,8 @@ let () =
           Alcotest.test_case "bounded error" `Quick hist_bounded_error;
           Alcotest.test_case "mean and total" `Quick hist_mean_total;
           Alcotest.test_case "negative clamped" `Quick hist_negative_clamped;
+          Alcotest.test_case "percentile is a recorded value" `Quick
+            hist_percentile_is_recorded_value;
           Alcotest.test_case "clear" `Quick hist_clear;
         ] );
       ( "bits",
