@@ -15,8 +15,13 @@ test:
 ci:
 	dune build @all
 	dune runtest
+	dune exec bench/main.exe -- --exp smoke --audit
 
 bench:
 	dune exec bench/main.exe
 
-.PHONY: all test ci bench
+# Paranoid run of every experiment: re-audit after each commit/restore.
+bench-audit:
+	dune exec bench/main.exe -- --audit
+
+.PHONY: all test ci bench bench-audit

@@ -32,12 +32,35 @@ let trace_out : string option ref = ref None
 let trace_verbose : bool ref = ref false
 let traced_sys : System.t option ref = ref None
 
+module Audit = Treesls_audit.Audit
+
+(* Set by main.exe's [--audit] flag (paranoid mode): every system booted
+   through this module re-runs the state auditor after every committed
+   checkpoint and after every crash/restore, aborting the harness on any
+   Error-severity violation. *)
+let audit_mode : bool ref = ref false
+
+let audit_or_die sys ~where =
+  let r = System.audit sys in
+  if Audit.errors r > 0 then begin
+    Format.eprintf "audit failed (%s):@\n%a@." where Audit.pp r;
+    exit 2
+  end
+
 let boot ?(interval_us = 1000) ?(features = full_features ()) ?(nvm_pages = 1 lsl 16) () =
   let sys = System.boot ~interval_us ~features ~nvm_pages () in
   if !trace_out <> None then begin
     System.enable_tracing ~verbose:!trace_verbose sys;
     traced_sys := Some sys
   end;
+  (* Registered as a service so the volatile on_checkpoint callback is
+     re-installed after every recover (setups re-run then) — and the
+     setup itself audits, covering boot and each post-restore state. *)
+  if !audit_mode then
+    System.add_service sys ~name:"audit" ~setup:(fun sys ->
+        audit_or_die sys ~where:"boot/post-restore";
+        Manager.on_checkpoint (System.manager sys) (fun () ->
+            audit_or_die sys ~where:"post-commit"));
   sys
 
 (* ------------------------------------------------------------------ *)

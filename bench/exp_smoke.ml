@@ -1,0 +1,32 @@
+(* Audit smoke test: a short paranoid run wired into `make ci`.
+
+   Forces --audit mode, drives one workload through several committed
+   checkpoints and a power failure + restore, and prints the final audit
+   report and NVM census.  Any Error-severity violation aborts the
+   harness with exit code 2 (see Exp_common.audit_or_die), so a CI pass
+   means every intermediate state satisfied the checkpoint invariants. *)
+
+open Exp_common
+
+let run () =
+  let prev = !audit_mode in
+  audit_mode := true;
+  Fun.protect
+    ~finally:(fun () -> audit_mode := prev)
+    (fun () ->
+      let sys = boot () in
+      let rng = Rng.create 7L in
+      let app = launch sys rng W_memcached in
+      for _ = 1 to 3 do
+        run_ops sys ~n:300 app.step;
+        ignore (System.checkpoint sys)
+      done;
+      let r = System.crash_and_recover sys in
+      Printf.printf "crash/restore: rolled back to v%d (%d objects, %d pages)\n"
+        r.Treesls_ckpt.Restore.version r.Treesls_ckpt.Restore.restored_objects
+        r.Treesls_ckpt.Restore.pages_restored;
+      app.refresh ();
+      run_ops sys ~n:300 app.step;
+      ignore (System.checkpoint sys);
+      Format.printf "%a@." Audit.pp (System.audit sys);
+      Format.printf "%a@?" Treesls_audit.Nvm_census.pp (System.nvm_census sys))

@@ -11,6 +11,12 @@
    the ckpt.stw spans against their children:
 
      dune exec bench/main.exe -- --exp fig9 --trace fig9.trace.json
+
+   Paranoid mode: add [--audit] to re-run the NVM state auditor
+   (Treesls_audit) after every committed checkpoint and every
+   crash/restore; any Error-severity violation aborts with exit code 2:
+
+     dune exec bench/main.exe -- --exp smoke --audit
 *)
 
 let experiments =
@@ -26,6 +32,7 @@ let experiments =
     ("fig13", ("Figure 13: YCSB on Redis", Exp_fig13.run));
     ("fig14", ("Figure 14: RocksDB Prefix_dist", Exp_fig14.run));
     ("ablate", ("Design ablations", Exp_ablate.run));
+    ("smoke", ("Audit smoke: checkpoints + crash/restore under --audit (make ci)", Exp_smoke.run));
   ]
 
 (* --- Bechamel host-time microbenchmarks: one per table/figure -------- *)
@@ -118,6 +125,7 @@ let () =
   let exp = find_opt "--exp" args in
   Exp_common.trace_out := find_opt "--trace" args;
   Exp_common.trace_verbose := List.mem "--trace-verbose" args;
+  Exp_common.audit_mode := List.mem "--audit" args;
   if want_bechamel then run_bechamel ()
   else begin
     let to_run =

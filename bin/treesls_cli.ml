@@ -1,12 +1,17 @@
 (* Command-line driver for the TreeSLS simulator.
 
      treesls_cli census                      object census of a booted system
+     treesls_cli census -w redis -n 5000 --baseline default
+                                             ... per-kind deltas vs the Default system
      treesls_cli run -w redis -n 20000       run a workload with 1ms checkpoints
      treesls_cli run -w memcached --crash 3  inject 3 power failures while running
      treesls_cli ckpt                        one checkpoint, print the breakdown
      treesls_cli trace -w redis --crash 1    run traced; dump the event ring
      treesls_cli trace --export t.json       ... and write Perfetto JSON
      treesls_cli metrics -w sqlite --json    run and dump the metrics registry
+     treesls_cli inspect -w sqlite           NVM census by subsystem (--json for JSON)
+     treesls_cli doctor -w redis --crash 2   audit the persisted state (slsfsck)
+     treesls_cli diff -w sqlite -n 3000      explain the last two checkpoint versions
 *)
 
 module System = Treesls.System
@@ -17,6 +22,9 @@ module Census = Treesls_cap.Census
 module Kobj = Treesls_cap.Kobj
 module Rng = Treesls_util.Rng
 module Trace = Treesls_obs.Trace
+module Audit = Treesls_audit.Audit
+module Nvm_census = Treesls_audit.Nvm_census
+module Eidetic = Treesls_ckpt.Eidetic
 open Cmdliner
 
 let workloads =
@@ -75,14 +83,6 @@ let print_census sys =
   Printf.printf "pmos          %d\nvm spaces     %d\nirqs          %d\napp pages     %d\n"
     c.Census.pmos c.Census.vmspaces c.Census.irqs c.Census.app_pages
 
-let census_cmd =
-  let run () =
-    let sys = System.boot () in
-    print_census sys
-  in
-  Cmd.v (Cmd.info "census" ~doc:"Boot the default system and print its object census")
-    Term.(const run $ const ())
-
 let ckpt_cmd =
   let run () =
     let sys = System.boot () in
@@ -137,6 +137,115 @@ let drive sys ~workload ~ops ~crashes ~seed =
         r.Treesls_ckpt.Restore.version r.Treesls_ckpt.Restore.restored_objects
     end
   done
+
+let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text")
+
+let census_cmd =
+  let ops0 =
+    Arg.(
+      value & opt int 0
+      & info [ "n"; "ops" ] ~docv:"N" ~doc:"Workload operations to run first (0 = none)")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some (enum [ ("default", `Default) ])) None
+      & info [ "baseline" ] ~docv:"NAME"
+          ~doc:
+            "Also print per-kind object deltas against a freshly booted baseline system \
+             (only $(b,default) is available)")
+  in
+  let run workload ops interval seed baseline =
+    let sys = boot_configured interval in
+    if ops > 0 then drive sys ~workload ~ops ~crashes:0 ~seed;
+    print_census sys;
+    match baseline with
+    | None -> ()
+    | Some `Default ->
+      let base = Census.collect ~root:(Kernel.root (System.kernel (System.boot ()))) in
+      let cur = Census.collect ~root:(Kernel.root (System.kernel sys)) in
+      let d = Census.diff cur base in
+      Printf.printf "\nper-kind deltas vs default baseline:\n";
+      List.iter
+        (fun kind -> Printf.printf "  %-13s %+d\n" (Kobj.kind_name kind) (Census.count d kind))
+        Kobj.all_kinds;
+      Printf.printf "  %-13s %+d\n" "app pages" d.Census.app_pages
+  in
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:
+         "Print the object census of a booted system, optionally after running a workload \
+          and relative to the Default baseline (paper Table 2)")
+    Term.(const run $ workload_arg $ ops0 $ interval_arg $ seed_arg $ baseline)
+
+let inspect_cmd =
+  let run workload ops interval crashes seed json =
+    let sys = boot_configured interval in
+    drive sys ~workload ~ops ~crashes ~seed;
+    let c = System.nvm_census sys in
+    if json then print_endline (Nvm_census.to_json c) else Format.printf "%a@?" Nvm_census.pp c
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Run a workload, then price the persisted state: NVM consumption by subsystem")
+    Term.(const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg $ json_arg)
+
+let doctor_cmd =
+  let run workload ops interval crashes seed json =
+    let sys = boot_configured interval in
+    drive sys ~workload ~ops ~crashes ~seed;
+    let r = System.audit sys in
+    if json then print_endline (Audit.to_json r) else Format.printf "%a@." Audit.pp r;
+    if Audit.errors r > 0 then exit 2
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Run a workload, then audit the persisted state against the checkpoint invariants \
+          (slsfsck); exits 2 on any error-severity violation")
+    Term.(const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg $ json_arg)
+
+let diff_cmd =
+  let from_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "from" ] ~docv:"V" ~doc:"Older version (default: second-newest archived)")
+  in
+  let to_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "to" ] ~docv:"V" ~doc:"Newer version (default: newest archived)")
+  in
+  let window =
+    Arg.(
+      value & opt int 64
+      & info [ "window" ] ~docv:"N" ~doc:"Eidetic archive window (checkpoint versions kept)")
+  in
+  let run workload ops interval seed from_v to_v window json =
+    let sys = boot_configured interval in
+    let eid = Eidetic.attach ~max_versions:window (System.manager sys) in
+    drive sys ~workload ~ops ~crashes:0 ~seed;
+    match List.rev (Eidetic.versions eid) with
+    | last :: prev :: _ ->
+      let from_version = Option.value from_v ~default:prev in
+      let to_version = Option.value to_v ~default:last in
+      let d = Audit.diff (System.manager sys) eid ~from_version ~to_version in
+      if json then print_endline (Audit.diff_to_json d)
+      else Format.printf "%a@." Audit.pp_diff d
+    | _ ->
+      prerr_endline "fewer than two checkpoints were archived; nothing to diff";
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Run a workload under an eidetic archive, then explain what changed between two \
+          checkpoint versions: objects added/removed/mutated and pages by copy class")
+    Term.(
+      const run $ workload_arg $ ops_arg $ interval_arg $ seed_arg $ from_arg $ to_arg $ window
+      $ json_arg)
 
 let run_cmd =
   let run workload ops interval crashes seed =
@@ -227,4 +336,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "treesls_cli" ~doc)
-          [ census_cmd; ckpt_cmd; run_cmd; trace_cmd; metrics_cmd ]))
+          [ census_cmd; ckpt_cmd; run_cmd; trace_cmd; metrics_cmd; inspect_cmd; doctor_cmd; diff_cmd ]))

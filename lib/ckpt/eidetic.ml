@@ -103,6 +103,12 @@ let page_at t ~version ~pmo_id ~pno =
   in
   if object_at t ~version ~obj_id:pmo_id = None then None else back version
 
+let pages_archived_at t ~version =
+  match Hashtbl.find_opt t.history version with
+  | None -> []
+  | Some r ->
+    List.sort_uniq compare (Hashtbl.fold (fun key _ acc -> key :: acc) r.pages [])
+
 let diff_objects t ~from_version ~to_version =
   match (Hashtbl.find_opt t.history from_version, Hashtbl.find_opt t.history to_version) with
   | Some a, Some b ->

@@ -46,6 +46,11 @@ val page_at : t -> version:int -> pmo_id:int -> pno:int -> Bytes.t option
 (** Byte content of a page as of [version]; [None] if the page did not
     exist then (or predates the window). *)
 
+val pages_archived_at : t -> version:int -> (int * int) list
+(** [(pmo id, pno)] pairs whose content was archived at [version] — i.e.
+    the pages modified in the interval that checkpoint closed. Sorted.
+    Feeds the cross-version diff explorer ([Treesls_audit.Audit.diff]). *)
+
 val diff_objects : t -> from_version:int -> to_version:int -> int list
 (** Ids of objects whose state changed between the two versions: snapshot
     differences, appearance/disappearance, and PMOs whose page content was

@@ -89,6 +89,12 @@ let recover t =
   | None -> ());
   report
 
+(* --- read-only walkers (state auditor) -------------------------------- *)
+
+let iter_oroots t f = Hashtbl.iter f t.st.State.oroots
+let find_oroot t oid = Hashtbl.find_opt t.st.State.oroots oid
+let oroot_count t = Hashtbl.length t.st.State.oroots
+
 let checkpoint_bytes t = State.checkpoint_bytes t.st
 let last_report t = t.st.State.last_report
 

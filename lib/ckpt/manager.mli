@@ -55,6 +55,18 @@ val recover : t -> Restore.report
 (** Journal replay + whole-system restore; re-installs hooks on the new
     kernel. Raises {!Restore.No_checkpoint} if nothing was committed. *)
 
+(** {2 Read-only walkers}
+
+    Used by the state auditor ([Treesls_audit]) to inspect the backup tree
+    without reaching through {!state}. None of these mutate or charge
+    simulated time. *)
+
+val iter_oroots : t -> (int -> Oroot.t -> unit) -> unit
+(** Visit every ORoot (live and not-yet-GC'd), keyed by object id. *)
+
+val find_oroot : t -> int -> Oroot.t option
+val oroot_count : t -> int
+
 val checkpoint_bytes : t -> int
 val last_report : t -> Report.t option
 val obj_costs : t -> (Treesls_cap.Kobj.kind * State.obj_cost) list

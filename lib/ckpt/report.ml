@@ -35,10 +35,13 @@ let zero =
     snapshot_bytes = 0;
   }
 
+(* Every field is printed (the format is pinned by a tier-1 round-trip
+   test); per_kind_ns is sorted by kind name so the output is
+   deterministic regardless of walk order. *)
 let pp ppf t =
   Format.fprintf ppf
     "ckpt v%d: stw=%.1fus (ipi=%.1f captree=%.1f others=%.1f | hybrid=%.1f) objs=%d(full %d) \
-     ro=%d sc=%d mig=+%d/-%d cached=%d"
+     ro=%d sc=%d mig=+%d/-%d cached=%d snap=%dB"
     t.version
     (float_of_int t.stw_ns /. 1e3)
     (float_of_int t.ipi_ns /. 1e3)
@@ -46,4 +49,17 @@ let pp ppf t =
     (float_of_int t.others_ns /. 1e3)
     (float_of_int t.hybrid_ns /. 1e3)
     t.objects_walked t.full_objects t.pages_protected t.dram_dirty_copied t.migrated_in
-    t.migrated_out t.cached_pages
+    t.migrated_out t.cached_pages t.snapshot_bytes;
+  match
+    List.sort
+      (fun (a, _) (b, _) ->
+        compare (Treesls_cap.Kobj.kind_name a) (Treesls_cap.Kobj.kind_name b))
+      t.per_kind_ns
+  with
+  | [] -> ()
+  | kinds ->
+    Format.fprintf ppf " kinds=[%s]"
+      (String.concat "; "
+         (List.map
+            (fun (k, ns) -> Printf.sprintf "%s=%dns" (Treesls_cap.Kobj.kind_name k) ns)
+            kinds))

@@ -26,11 +26,12 @@ type report = {
   version : int;
 }
 
-(* Crash-time radixes of every PMO reachable in the crashed runtime tree:
-   the restore consults them for "use the runtime page" decisions. *)
-let crashed_radixes crashed_root =
+(* Radixes of every PMO reachable in a runtime tree. At restore time the
+   crash-time tree feeds the "use the runtime page" decisions; the state
+   auditor calls the same walk on the live tree. *)
+let tree_radixes root =
   let tbl = Hashtbl.create 64 in
-  (match crashed_root with
+  (match root with
   | None -> ()
   | Some root ->
     Kobj.iter_tree ~root (fun obj ->
@@ -39,6 +40,29 @@ let crashed_radixes crashed_root =
         | Kobj.Cap_group _ | Kobj.Thread _ | Kobj.Vmspace _ | Kobj.Ipc_conn _
         | Kobj.Notification _ | Kobj.Irq_notification _ -> ()));
   tbl
+
+(* Read-only walk over every checkpointed-page record of every ORoot alive
+   at [global], reporting the restore decision each record would produce
+   against [radixes]. Shared by the restore integrity pre-pass and the
+   state auditor ("would a restore right now succeed?"). *)
+let iter_restore_choices st ~radixes ~global f =
+  Hashtbl.iter
+    (fun oid (oroot : Oroot.t) ->
+      if oroot.Oroot.first_ver <= global then
+        match oroot.Oroot.pages with
+        | None -> ()
+        | Some cps ->
+          let runtime_of pno =
+            match Hashtbl.find_opt radixes oid with
+            | Some radix -> Radix.get radix pno
+            | None -> None
+          in
+          Ckpt_page.iter
+            (fun pno cp ->
+              f ~pmo_id:oid ~pno ~cp
+                ~choice:(Ckpt_page.restore_choice cp ~global ~runtime:(runtime_of pno)))
+            cps)
+    st.State.oroots
 
 let charge_restore st (snap : Snapshot.t) =
   let store = Kernel.store st.State.kernel in
@@ -66,30 +90,16 @@ let run_inner st =
   Store.recover store;
   let g = Global_meta.version (Store.meta store) in
   if g = 0 then raise No_checkpoint;
-  let radixes = crashed_radixes st.State.crashed_root in
+  let radixes = tree_radixes st.State.crashed_root in
   (* Integrity pre-pass (paper section 8): verify every sealed backup that
      the restore would use BEFORE mutating anything, so a detected
      corruption leaves the store untouched — the caller can repair the
      frame (e.g. from an eidetic archive) and simply retry. *)
-  Hashtbl.iter
-    (fun oid (oroot : Oroot.t) ->
-      if oroot.Oroot.first_ver <= g then
-        match oroot.Oroot.pages with
-        | None -> ()
-        | Some cps ->
-          let runtime_of pno =
-            match Hashtbl.find_opt radixes oid with
-            | Some radix -> Radix.get radix pno
-            | None -> None
-          in
-          Ckpt_page.iter
-            (fun pno cp ->
-              match Ckpt_page.restore_choice cp ~global:g ~runtime:(runtime_of pno) with
-              | `Use keep when not (Store.verify_page store keep) ->
-                raise (Corrupt_backup { pmo_id = oid; pno; paddr = keep })
-              | `Use _ | `Drop -> ())
-            cps)
-    st.State.oroots;
+  iter_restore_choices st ~radixes ~global:g (fun ~pmo_id ~pno ~cp:_ ~choice ->
+      match choice with
+      | `Use keep when not (Store.verify_page store keep) ->
+        raise (Corrupt_backup { pmo_id; pno; paddr = keep })
+      | `Use _ | `Drop -> ());
   (* PMO ids known to the checkpoint manager before any rollback: pages of
      any other PMO found in the crashed tree are in-flight allocations. *)
   let known_pmos = Hashtbl.create 64 in

@@ -35,3 +35,27 @@ type report = {
 
 val run : State.t -> report
 (** Recover; on success [State.kernel] is the new runtime kernel. *)
+
+(** {2 Read-only walkers}
+
+    The restore decision logic, exposed for inspection without mutating
+    anything. The state auditor ([Treesls_audit]) replays the choices the
+    restore path {e would} make against the live tree to check that every
+    frame a rollback needs exists and verifies. *)
+
+val tree_radixes :
+  Treesls_cap.Kobj.cap_group option -> (int, Treesls_nvm.Paddr.t Treesls_cap.Radix.t) Hashtbl.t
+(** PMO id -> radix for every PMO reachable from [root] (empty on [None]). *)
+
+val iter_restore_choices :
+  State.t ->
+  radixes:(int, Treesls_nvm.Paddr.t Treesls_cap.Radix.t) Hashtbl.t ->
+  global:int ->
+  (pmo_id:int ->
+  pno:int ->
+  cp:Ckpt_page.cp ->
+  choice:[ `Drop | `Use of Treesls_nvm.Paddr.t ] ->
+  unit) ->
+  unit
+(** Visit every checkpointed-page record of every ORoot alive at [global]
+    with the restore decision it would produce. Pure read. *)

@@ -98,6 +98,11 @@ let enable_tracing ?(verbose = false) ?(eternal_backing = true) t =
   Probe.set_verbose t.obs verbose;
   if eternal_backing then ensure_eternal_backing t
 
+(* --- state audit (slsfsck) -------------------------------------------- *)
+
+let audit t = Treesls_audit.Audit.run t.mgr
+let nvm_census t = Treesls_audit.Nvm_census.collect t.mgr
+
 let disable_tracing t = Probe.set_tracing t.obs false
 let export_trace ?pid ?tid t = Trace.to_perfetto_json ?pid ?tid (Probe.trace t.obs)
 

@@ -82,6 +82,19 @@ val stats : t -> Kernel.stats
 val obs : t -> Treesls_obs.Probe.t
 val trace : t -> Treesls_obs.Trace.t
 
+(** {2 State audit (slsfsck)}
+
+    Deep invariant checking and NVM accounting over the persisted state
+    ({!Treesls_audit}).  Both are pure reads of a quiesced system. *)
+
+val audit : t -> Treesls_audit.Audit.report
+(** Check the checkpoint invariants (committed-version consistency,
+    CP/CPP well-formedness, allocator reconciliation, eternal-PMO
+    exclusion...); a healthy system reports zero violations. *)
+
+val nvm_census : t -> Treesls_audit.Nvm_census.t
+(** Price NVM consumption by subsystem. *)
+
 val enable_tracing : ?verbose:bool -> ?eternal_backing:bool -> t -> unit
 (** Start recording trace events.  [verbose] additionally records the
     per-operation tier ([nvm.alloc], [nvm.txn], [ipc.call]).

@@ -122,6 +122,17 @@ let order_of t ~offset =
   let tag = Warea.read t.area (t.orders + offset) in
   if tag = 0 then None else Some (tag - 1)
 
+let iter_live t f =
+  for p = 0 to t.total - 1 do
+    let tag = Warea.read t.area (t.orders + p) in
+    if tag > 0 then f ~offset:p ~order:(tag - 1)
+  done
+
+let live_pages t =
+  let n = ref 0 in
+  iter_live t (fun ~offset:_ ~order -> n := !n + (1 lsl order));
+  !n
+
 let check_invariants t =
   (* Recompute the expected tree from the allocation-order array. A page is
      free iff it is not covered by any live allocation. *)

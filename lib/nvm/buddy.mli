@@ -42,6 +42,15 @@ val free : t -> offset:int -> unit
 val order_of : t -> offset:int -> int option
 (** Order of the live allocation at [offset], if any. *)
 
+val iter_live : t -> (offset:int -> order:int -> unit) -> unit
+(** Visit every live allocation (read-only walk of the order array; used by
+    the state auditor to reconcile allocator accounting with reachable
+    objects). *)
+
+val live_pages : t -> int
+(** Pages covered by live allocations ([total_pages - free_pages] when the
+    free counter is consistent). *)
+
 val check_invariants : t -> unit
 (** Recompute the tree bottom-up and compare with stored state; verify the
     free-page count. Raises [Failure] on divergence (test helper). *)

@@ -141,6 +141,16 @@ let byte_offset_of t handle =
 
 let live t = Warea.read t.area t.live_word
 
+let slab_pages t =
+  let acc = ref [] in
+  for cls = nclasses - 1 downto 0 do
+    for slot = t.max_slabs - 1 downto 0 do
+      let pw = Warea.read t.area (page_word t cls slot) in
+      if pw <> 0 then acc := (pw - 1) :: !acc
+    done
+  done;
+  !acc
+
 let live_in_class t cls =
   if cls < 0 || cls >= nclasses then invalid_arg "Slab.live_in_class";
   let cap = capacity t.page_size cls in

@@ -44,6 +44,10 @@ val byte_offset_of : t -> handle -> int
 val live : t -> int
 (** Number of live objects across all classes. *)
 
+val slab_pages : t -> int list
+(** Buddy page offsets currently held as slabs (read-only walk; the state
+    auditor counts them against the buddy's live allocations). *)
+
 val live_in_class : t -> int -> int
 
 val check_invariants : t -> unit

@@ -242,3 +242,7 @@ let nvm_pages_total t = Buddy.total_pages t.buddy
 let dram_pages_free t = t.dram_free_count
 let live_objects t = Slab.live t.slab
 let journal_commits t = Warea.commits t.warea
+let journal_in_flight t = Warea.in_flight t.warea
+let allocator_meta_words t = Warea.size t.warea
+let sealed_pages t = Hashtbl.length t.seals
+let ssd_slots_total t = Device.pages t.ssd

@@ -134,3 +134,16 @@ val nvm_pages_total : t -> int
 val dram_pages_free : t -> int
 val live_objects : t -> int
 val journal_commits : t -> int
+
+val journal_in_flight : t -> bool
+(** Whether an un-truncated word-area journal record exists. Outside a
+    crash window this must be [false] (the auditor's "journal idle"
+    invariant). *)
+
+val allocator_meta_words : t -> int
+(** Size of the journaled word area holding buddy + slab metadata. *)
+
+val sealed_pages : t -> int
+(** Number of pages currently carrying a backup checksum. *)
+
+val ssd_slots_total : t -> int

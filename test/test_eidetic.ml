@@ -69,7 +69,7 @@ let eidetic_object_history () =
   check_int "count at v2" 2 (count_at 2)
 
 let eidetic_window_prunes () =
-  let sys, k, proc, vpn, _, psz = setup () in
+  let sys, k, proc, vpn, pmo_id, psz = setup () in
   let eid = Eidetic.attach ~max_versions:3 (System.manager sys) in
   for i = 1 to 6 do
     write_epoch sys k proc vpn psz (Printf.sprintf "e%d" i)
@@ -78,7 +78,31 @@ let eidetic_window_prunes () =
   check_int "window size" 3 (List.length vs);
   Alcotest.(check (list int)) "newest kept" [ 4; 5; 6 ] vs;
   check_bool "old version evicted" true
-    (Eidetic.objects_at eid ~version:1 = [])
+    (Eidetic.objects_at eid ~version:1 = []);
+  (* pruned versions answer None for pages too, not stale data *)
+  List.iter
+    (fun v ->
+      check_bool
+        (Printf.sprintf "page at pruned v%d gone" v)
+        true
+        (Eidetic.page_at eid ~version:v ~pmo_id ~pno:0 = None))
+    [ 1; 2; 3 ];
+  check_bool "page at kept v4 readable" true
+    (Eidetic.page_at eid ~version:4 ~pmo_id ~pno:0 <> None)
+
+let eidetic_pruning_shrinks_stats () =
+  let sys, k, proc, vpn, _, psz = setup () in
+  let eid = Eidetic.attach ~max_versions:2 (System.manager sys) in
+  write_epoch sys k proc vpn psz "p1";
+  write_epoch sys k proc vpn psz "p2";
+  let s2 = Eidetic.stats eid in
+  check_int "window full" 2 s2.Eidetic.archived_versions;
+  (* every later epoch evicts one version: the window stays at 2 and the
+     archive's page bytes stop growing (eviction frees the old pages) *)
+  write_epoch sys k proc vpn psz "p3";
+  let s3 = Eidetic.stats eid in
+  check_int "window capped" 2 s3.Eidetic.archived_versions;
+  check_bool "page bytes bounded" true (s3.Eidetic.page_bytes <= s2.Eidetic.page_bytes)
 
 let eidetic_dead_object_absent () =
   let sys = System.boot () in
@@ -315,6 +339,7 @@ let () =
             eidetic_unmodified_page_carries_forward;
           Alcotest.test_case "object history" `Quick eidetic_object_history;
           Alcotest.test_case "window prunes" `Quick eidetic_window_prunes;
+          Alcotest.test_case "pruning shrinks stats" `Quick eidetic_pruning_shrinks_stats;
           Alcotest.test_case "dead object absent" `Quick eidetic_dead_object_absent;
           Alcotest.test_case "diff between versions" `Quick eidetic_diff;
           Alcotest.test_case "stats grow" `Quick eidetic_stats_grow;
