@@ -32,6 +32,10 @@ let trace_out : string option ref = ref None
 let trace_verbose : bool ref = ref false
 let traced_sys : System.t option ref = ref None
 
+(* Set by [--smoke]: experiments that support it run a reduced-scale
+   configuration suitable for `make ci`. *)
+let smoke : bool ref = ref false
+
 module Audit = Treesls_audit.Audit
 
 (* Set by main.exe's [--audit] flag (paranoid mode): every system booted
@@ -233,6 +237,94 @@ let closed_loop_lat sys ~n step =
 
 let f1 v = Printf.sprintf "%.1f" v
 let f2 v = Printf.sprintf "%.2f" v
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results ([--json FILE] / [--json-dir DIR]).
+   Experiments call [emit_row] for each measured configuration; the rows
+   accumulate under the experiment [main.exe] is currently running and are
+   written out once at harness exit.  This seeds the perf trajectory: a
+   row is one (config, metrics) point, e.g. one checkpoint interval of a
+   latency sweep. *)
+
+let json_out : string option ref = ref None
+let json_dir : string option ref = ref None
+let current_exp : string ref = ref ""
+
+(* (experiment, config, metrics), oldest first *)
+let results : (string * (string * string) list * (string * float) list) list ref = ref []
+
+let emit_row ~config ~metrics = results := !results @ [ (!current_exp, config, metrics) ]
+
+let esc = Treesls_obs.Trace.json_escape
+
+let row_json b (config, metrics) =
+  Buffer.add_string b "{\"config\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (esc k) (esc v)))
+    config;
+  Buffer.add_string b "},\"metrics\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      (* %.17g round-trips every float; trim the common integral case *)
+      let s =
+        if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+        else Printf.sprintf "%.6g" v
+      in
+      Buffer.add_string b (Printf.sprintf "\"%s\":%s" (esc k) s))
+    metrics;
+  Buffer.add_string b "}}"
+
+let experiments_json rows =
+  let names =
+    List.fold_left (fun acc (e, _, _) -> if List.mem e acc then acc else acc @ [ e ]) [] rows
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"experiments\":[";
+  List.iteri
+    (fun i name ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "{\"name\":\"%s\",\"rows\":[" (esc name));
+      let mine = List.filter (fun (e, _, _) -> e = name) rows in
+      List.iteri
+        (fun j (_, config, metrics) ->
+          if j > 0 then Buffer.add_char b ',';
+          row_json b (config, metrics))
+        mine;
+      Buffer.add_string b "]}")
+    names;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
+let finish_json () =
+  let rows = !results in
+  (match !json_out with
+  | Some path when rows <> [] ->
+    write_file path (experiments_json rows);
+    Printf.printf "\nresults: %d rows -> %s\n" (List.length rows) path
+  | Some path -> Printf.printf "\nresults: no rows emitted; nothing to write to %s\n" path
+  | None -> ());
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+    let names =
+      List.fold_left (fun acc (e, _, _) -> if List.mem e acc then acc else acc @ [ e ]) [] rows
+    in
+    List.iter
+      (fun name ->
+        let mine = List.filter (fun (e, _, _) -> e = name) rows in
+        let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
+        write_file path (experiments_json mine);
+        Printf.printf "results: %d rows -> %s\n" (List.length mine) path)
+      names
 
 let avg_reports reports f =
   match reports with

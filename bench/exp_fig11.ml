@@ -36,10 +36,18 @@ let run_one ~interval_us ~op =
 let run () =
   let table op label =
     let baseline = run_one ~interval_us:0 ~op in
+    let emit ~interval r =
+      emit_row
+        ~config:[ ("op", label); ("interval", interval) ]
+        ~metrics:
+          [ ("p50_us", r.p50_us); ("p95_us", r.p95_us); ("tput_kops", r.tput_kops) ]
+    in
+    emit ~interval:"baseline" baseline;
     let rows =
       List.map
         (fun ms ->
           let r = run_one ~interval_us:(ms * 1000) ~op in
+          emit ~interval:(Printf.sprintf "%dms" ms) r;
           [ Printf.sprintf "%d ms" ms; f1 r.p50_us; f1 r.p95_us ])
         intervals_ms
       @ [ [ "baseline (no ckpt)"; f1 baseline.p50_us; f1 baseline.p95_us ] ]

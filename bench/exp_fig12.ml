@@ -77,6 +77,10 @@ let run () =
         List.map
           (fun mode ->
             let p50_ms, tput = run_one mode ~interval_ms in
+            emit_row
+              ~config:
+                [ ("interval_ms", string_of_int interval_ms); ("mode", mode_name mode) ]
+              ~metrics:[ ("p50_ms", p50_ms); ("tput_kops", tput) ];
             [
               Printf.sprintf "%d ms" interval_ms;
               mode_name mode;

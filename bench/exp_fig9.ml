@@ -27,6 +27,16 @@ let run () =
       rows_a :=
         [ workload_name w; f1 ipi; f1 cap; f1 others; f1 (ipi +. cap +. others); f1 hybrid ]
         :: !rows_a;
+      emit_row
+        ~config:[ ("workload", workload_name w); ("interval_us", "1000") ]
+        ~metrics:
+          [
+            ("ipi_us", ipi);
+            ("captree_us", cap);
+            ("others_us", others);
+            ("stw_main_us", ipi +. cap +. others);
+            ("hybrid_us", hybrid);
+          ];
       (* per-kind capability-tree breakdown *)
       let kinds = Kobj.all_kinds in
       let totals = Hashtbl.create 8 in

@@ -17,6 +17,14 @@
    crash/restore; any Error-severity violation aborts with exit code 2:
 
      dune exec bench/main.exe -- --exp smoke --audit
+
+   Machine-readable results: [--json FILE] collects every experiment's
+   (config, metrics) rows into one JSON file; [--json-dir DIR] writes one
+   BENCH_<exp>.json per experiment (what `make bench` uses to seed the
+   perf trajectory).  [--smoke] shrinks supporting experiments to CI
+   scale:
+
+     dune exec bench/main.exe -- --exp extsync_lat --smoke --json out.json
 *)
 
 let experiments =
@@ -29,6 +37,9 @@ let experiments =
     ("table4", ("Table 4: hybrid copy effect", Exp_table4.run));
     ("fig11", ("Figure 11: Memcached latency vs interval", Exp_fig11.run));
     ("fig12", ("Figure 12: external synchrony", Exp_fig12.run));
+    ( "extsync_lat",
+      ("External synchrony: checkpoint interval vs visible latency (Rtrace)", Exp_extsync_lat.run)
+    );
     ("fig13", ("Figure 13: YCSB on Redis", Exp_fig13.run));
     ("fig14", ("Figure 14: RocksDB Prefix_dist", Exp_fig14.run));
     ("ablate", ("Design ablations", Exp_ablate.run));
@@ -126,6 +137,9 @@ let () =
   Exp_common.trace_out := find_opt "--trace" args;
   Exp_common.trace_verbose := List.mem "--trace-verbose" args;
   Exp_common.audit_mode := List.mem "--audit" args;
+  Exp_common.smoke := List.mem "--smoke" args;
+  Exp_common.json_out := find_opt "--json" args;
+  Exp_common.json_dir := find_opt "--json-dir" args;
   if want_bechamel then run_bechamel ()
   else begin
     let to_run =
@@ -140,11 +154,13 @@ let () =
           exit 1)
     in
     List.iter
-      (fun (_, (title, run)) ->
+      (fun (name, (title, run)) ->
         Printf.printf "\n########## %s ##########\n%!" title;
+        Exp_common.current_exp := name;
         let t0 = Unix.gettimeofday () in
         run ();
         Printf.printf "(experiment took %.1fs host time)\n%!" (Unix.gettimeofday () -. t0))
       to_run;
-    Exp_common.finish_trace ()
+    Exp_common.finish_trace ();
+    Exp_common.finish_json ()
   end

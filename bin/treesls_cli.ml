@@ -6,8 +6,11 @@
      treesls_cli run -w redis -n 20000       run a workload with 1ms checkpoints
      treesls_cli run -w memcached --crash 3  inject 3 power failures while running
      treesls_cli ckpt                        one checkpoint, print the breakdown
+     treesls_cli ckpt top -w redis -n 5000   STW time ranked by capability subtree
+     treesls_cli ckpt top --folded stw.folded   ... plus collapsed stacks for flamegraphs
      treesls_cli trace -w redis --crash 1    run traced; dump the event ring
      treesls_cli trace --export t.json       ... and write Perfetto JSON
+     treesls_cli trace --requests 20         newest request timelines (Rtrace)
      treesls_cli metrics -w sqlite --json    run and dump the metrics registry
      treesls_cli inspect -w sqlite           NVM census by subsystem (--json for JSON)
      treesls_cli doctor -w redis --crash 2   audit the persisted state (slsfsck)
@@ -83,17 +86,6 @@ let print_census sys =
   Printf.printf "pmos          %d\nvm spaces     %d\nirqs          %d\napp pages     %d\n"
     c.Census.pmos c.Census.vmspaces c.Census.irqs c.Census.app_pages
 
-let ckpt_cmd =
-  let run () =
-    let sys = System.boot () in
-    let r1 = System.checkpoint sys in
-    let r2 = System.checkpoint sys in
-    Format.printf "full:        %a@." Report.pp r1;
-    Format.printf "incremental: %a@." Report.pp r2
-  in
-  Cmd.v (Cmd.info "ckpt" ~doc:"Take a full and an incremental checkpoint; print breakdowns")
-    Term.(const run $ const ())
-
 (* Shared argument terms and run loop for the run/trace/metrics commands. *)
 
 let workload_arg =
@@ -139,6 +131,120 @@ let drive sys ~workload ~ops ~crashes ~seed =
   done
 
 let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text")
+
+(* Sum a run's reports into one aggregate for the `ckpt top` view and the
+   folded flamegraph export. *)
+let aggregate_reports reports =
+  let merge_assoc l acc =
+    List.fold_left
+      (fun acc (k, v) -> (k, v + Option.value ~default:0 (List.assoc_opt k acc)) :: List.remove_assoc k acc)
+      acc l
+  in
+  List.fold_left
+    (fun acc (r : Report.t) ->
+      {
+        acc with
+        Report.version = r.Report.version;
+        stw_ns = acc.Report.stw_ns + r.Report.stw_ns;
+        ipi_ns = acc.Report.ipi_ns + r.Report.ipi_ns;
+        captree_ns = acc.Report.captree_ns + r.Report.captree_ns;
+        others_ns = acc.Report.others_ns + r.Report.others_ns;
+        hybrid_ns = acc.Report.hybrid_ns + r.Report.hybrid_ns;
+        per_kind_ns = merge_assoc r.Report.per_kind_ns acc.Report.per_kind_ns;
+        per_group =
+          List.fold_left
+            (fun groups (name, g) ->
+              let prev =
+                Option.value
+                  ~default:{ Report.g_ns = 0; g_objects = 0; g_kinds = [] }
+                  (List.assoc_opt name groups)
+              in
+              ( name,
+                {
+                  Report.g_ns = prev.Report.g_ns + g.Report.g_ns;
+                  g_objects = prev.Report.g_objects + g.Report.g_objects;
+                  g_kinds = merge_assoc g.Report.g_kinds prev.Report.g_kinds;
+                } )
+              :: List.remove_assoc name groups)
+            acc.Report.per_group r.Report.per_group;
+        objects_walked = acc.Report.objects_walked + r.Report.objects_walked;
+      })
+    Report.zero reports
+
+let ckpt_cmd =
+  let action =
+    Arg.(
+      value
+      & pos 0 (enum [ ("breakdown", `Breakdown); ("top", `Top) ]) `Breakdown
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "$(b,breakdown): one full + one incremental checkpoint with phase breakdowns. \
+             $(b,top): run a workload and rank capability subtrees (process groups) by the \
+             STW time their objects cost.")
+  in
+  let top_n =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Rows to show in the top view")
+  in
+  let folded =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write collapsed-stack lines (aggregated over the run's checkpoints) to FILE — \
+             feed to flamegraph.pl or speedscope")
+  in
+  let run action workload ops interval seed top_n folded =
+    match action with
+    | `Breakdown ->
+      let sys = System.boot () in
+      let r1 = System.checkpoint sys in
+      let r2 = System.checkpoint sys in
+      Format.printf "full:        %a@." Report.pp r1;
+      Format.printf "incremental: %a@." Report.pp r2
+    | `Top ->
+      let sys = boot_configured interval in
+      let rng = Rng.create (Int64.of_int seed) in
+      let step, _refresh = launch sys rng workload in
+      let reports = ref [] in
+      for _ = 1 to ops do
+        step ();
+        match System.tick sys with Some r -> reports := r :: !reports | None -> ()
+      done;
+      reports := System.checkpoint sys :: !reports;
+      let n_ckpt = List.length !reports in
+      let agg = aggregate_reports !reports in
+      let total_captree = max 1 agg.Report.captree_ns in
+      Printf.printf "%d checkpoints, %.1fus STW total (captree %.1fus); by capability subtree:\n\n"
+        n_ckpt
+        (float_of_int agg.Report.stw_ns /. 1e3)
+        (float_of_int agg.Report.captree_ns /. 1e3);
+      Printf.printf "  %-16s %12s %12s %8s %8s\n" "group" "captree (us)" "us/ckpt" "objs/ck"
+        "% walk";
+      List.iteri
+        (fun i (name, (g : Report.group_cost)) ->
+          if i < top_n then
+            Printf.printf "  %-16s %12.1f %12.2f %8.1f %7.1f%%\n" name
+              (float_of_int g.Report.g_ns /. 1e3)
+              (float_of_int g.Report.g_ns /. 1e3 /. float_of_int n_ckpt)
+              (float_of_int g.Report.g_objects /. float_of_int n_ckpt)
+              (100.0 *. float_of_int g.Report.g_ns /. float_of_int total_captree))
+        (Report.sorted_groups agg);
+      (match folded with
+      | Some path ->
+        let oc = open_out path in
+        List.iter (fun l -> output_string oc (l ^ "\n")) (Report.folded_lines agg);
+        close_out oc;
+        Printf.printf "\nwrote %s (collapsed stacks; render with flamegraph.pl)\n" path
+      | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "ckpt"
+       ~doc:
+         "Checkpoint cost views: phase breakdown, or STW attribution by capability subtree \
+          ($(b,top)) with an optional collapsed-stack export for flamegraphs")
+    Term.(const run $ action $ workload_arg $ ops_arg $ interval_arg $ seed_arg $ top_n $ folded)
+
 
 let census_cmd =
   let ops0 =
@@ -286,7 +392,16 @@ let trace_cmd =
       & info [ "verbose" ]
           ~doc:"Also record the per-operation tier (nvm.alloc, nvm.txn, ipc.call)")
   in
-  let run workload ops interval crashes seed last export verbose =
+  let requests =
+    Arg.(
+      value & opt int 0
+      & info [ "requests" ] ~docv:"N"
+          ~doc:
+            "Print the newest N completed request timelines \
+             (arrive/handled/enqueue/visible + releasing commit) and the \
+             enqueue-to-visible percentiles")
+  in
+  let run workload ops interval crashes seed last export verbose requests =
     let sys = boot_configured interval in
     System.enable_tracing ~verbose sys;
     drive sys ~workload ~ops ~crashes ~seed;
@@ -300,6 +415,25 @@ let trace_cmd =
       List.iteri
         (fun i e -> if i >= n - last then Format.printf "%a@." Trace.pp_event e)
         events
+    end;
+    if requests > 0 then begin
+      let module Rtrace = Treesls_obs.Rtrace in
+      let rt = Treesls_obs.Probe.rtrace (System.obs sys) in
+      let completed = Rtrace.completed rt in
+      Printf.printf "\nrequests: %d completed (%d released, %d internal, %d shed, %d dropped)\n"
+        (Rtrace.completed_total rt) (Rtrace.released_count rt) (Rtrace.internal_count rt)
+        (Rtrace.shed_count rt) (Rtrace.dropped_count rt);
+      let s = Rtrace.enq2vis_summary rt in
+      if s.Rtrace.s_count > 0 then
+        Printf.printf "enqueue->visible: p50=%.1fus p95=%.1fus p99=%.1fus (n=%d)\n"
+          (float_of_int s.Rtrace.s_p50_ns /. 1e3)
+          (float_of_int s.Rtrace.s_p95_ns /. 1e3)
+          (float_of_int s.Rtrace.s_p99_ns /. 1e3)
+          s.Rtrace.s_count;
+      Printf.printf "newest %d:\n" (min requests (List.length completed));
+      List.iteri
+        (fun i r -> if i < requests then Format.printf "%a@." Rtrace.pp_req r)
+        completed
     end;
     match export with
     | Some path ->
@@ -315,7 +449,7 @@ let trace_cmd =
           the crash marker and the restore span all remain inspectable afterwards.")
     Term.(
       const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg $ last $ export
-      $ verbose)
+      $ verbose $ requests)
 
 let metrics_cmd =
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Dump the registry as JSON") in

@@ -109,7 +109,19 @@ let client_stage t payload =
   Kernel.write_bytes k t.client_p ~vaddr:((t.buf_vpn * p) + t.buf_cursor) payload;
   t.buf_cursor <- t.buf_cursor + ((len + 63) / 64 * 64)
 
+let origin_of payload =
+  if Bytes.length payload = 0 then "kv.op"
+  else
+    match Bytes.get payload 0 with
+    | 'S' -> "kv.set"
+    | 'G' -> "kv.get"
+    | 'D' -> "kv.del"
+    | _ -> "kv.op"
+
 let call t payload =
+  (* each client op is an externally-driven request: id assigned here,
+     carried implicitly through Ipc.call and any Net_server.send *)
+  ignore (Treesls_obs.Probe.req_arrive ~origin:(origin_of payload));
   client_stage t payload;
   Ipc.call (System.kernel t.sys) t.conn payload
 

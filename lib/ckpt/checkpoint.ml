@@ -217,6 +217,22 @@ let run st =
   let walk_tok = Probe.enter "ckpt.captree" in
   let walk0 = now st in
   let per_kind = Hashtbl.create 8 in
+  (* Owner map for subtree attribution: object id -> owning process name.
+     First process wins for objects shared across cap groups (e.g. IPC
+     connections installed in both ends); everything reachable only from
+     the root (boot services' parents, the root group itself) stays
+     "kernel".  Host-time bookkeeping only — no simulated cost. *)
+  let owner = Hashtbl.create 1024 in
+  List.iter
+    (fun (p : Kernel.process) ->
+      Kobj.iter_tree ~root:p.Kernel.cg (fun obj ->
+          let oid = Kobj.id obj in
+          if not (Hashtbl.mem owner oid) then Hashtbl.add owner oid p.Kernel.pname))
+    (Kernel.processes kernel);
+  (* group name -> (ns, objects, per-kind ns) *)
+  let per_group : (string, int ref * int ref * (Kobj.kind, int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
   let objects = ref 0 and fulls = ref 0 and snap_bytes = ref 0 in
   let protected_before =
     List.fold_left
@@ -232,6 +248,18 @@ let run st =
       snap_bytes := !snap_bytes + bytes;
       let kind = Kobj.kind obj in
       Hashtbl.replace per_kind kind (dt + Option.value ~default:0 (Hashtbl.find_opt per_kind kind));
+      let gname = Option.value ~default:"kernel" (Hashtbl.find_opt owner (Kobj.id obj)) in
+      let g_ns, g_objs, g_kinds =
+        match Hashtbl.find_opt per_group gname with
+        | Some g -> g
+        | None ->
+          let g = (ref 0, ref 0, Hashtbl.create 8) in
+          Hashtbl.add per_group gname g;
+          g
+      in
+      g_ns := !g_ns + dt;
+      incr g_objs;
+      Hashtbl.replace g_kinds kind (dt + Option.value ~default:0 (Hashtbl.find_opt g_kinds kind));
       let cost_stats = State.obj_cost st kind in
       Stats.add (if full then cost_stats.State.full else cost_stats.State.incr) (float_of_int dt));
   let walk_ns = now st - walk0 in
@@ -288,6 +316,10 @@ let run st =
   Probe.exit resume_tok;
   let stw_ns = now st - t0 in
   Probe.exit stw_tok ~args:[ ("stw_ns", string_of_int stw_ns) ];
+  (* record the commit + STW window first, so the extsync callbacks below
+     can attribute each released reply to this version (and bind flow
+     arrows to the ckpt.stw slice just closed) *)
+  Probe.ckpt_committed ~version:new_ver ~stw_t0:t0 ~stw_t1:(t0 + stw_ns);
   (* external synchrony callbacks run after the commit (release replies) *)
   List.iter (fun cb -> cb ()) st.State.ckpt_callbacks;
   let report =
@@ -299,6 +331,17 @@ let run st =
       others_ns;
       hybrid_ns;
       per_kind_ns = Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_kind [];
+      per_group =
+        Hashtbl.fold
+          (fun name (g_ns, g_objs, g_kinds) acc ->
+            ( name,
+              {
+                Report.g_ns = !g_ns;
+                g_objects = !g_objs;
+                g_kinds = Hashtbl.fold (fun k v acc -> (k, v) :: acc) g_kinds [];
+              } )
+            :: acc)
+          per_group [];
       objects_walked = !objects;
       full_objects = !fulls;
       pages_protected = protected_before;

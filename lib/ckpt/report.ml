@@ -1,3 +1,9 @@
+type group_cost = {
+  g_ns : int;
+  g_objects : int;
+  g_kinds : (Treesls_cap.Kobj.kind * int) list;
+}
+
 type t = {
   version : int;
   stw_ns : int;
@@ -6,6 +12,7 @@ type t = {
   others_ns : int;
   hybrid_ns : int;
   per_kind_ns : (Treesls_cap.Kobj.kind * int) list;
+  per_group : (string * group_cost) list;
   objects_walked : int;
   full_objects : int;
   pages_protected : int;
@@ -25,6 +32,7 @@ let zero =
     others_ns = 0;
     hybrid_ns = 0;
     per_kind_ns = [];
+    per_group = [];
     objects_walked = 0;
     full_objects = 0;
     pages_protected = 0;
@@ -34,6 +42,45 @@ let zero =
     cached_pages = 0;
     snapshot_bytes = 0;
   }
+
+(* costliest subtree first; name breaks ties so output is deterministic *)
+let sorted_groups t =
+  List.sort
+    (fun (na, a) (nb, b) ->
+      match Int.compare b.g_ns a.g_ns with 0 -> compare na nb | c -> c)
+    t.per_group
+
+(* Collapsed-stack ("folded") lines for flamegraph tooling: one line per
+   leaf stack, space-separated value, ';'-separated frames.  Frames must
+   not contain spaces, so kind names like "Cap Group" are underscored. *)
+let folded_lines t =
+  let frame s = String.map (fun c -> if c = ' ' then '_' else c) s in
+  let captree =
+    List.concat_map
+      (fun (name, g) ->
+        match
+          List.sort
+            (fun (a, _) (b, _) ->
+              compare (Treesls_cap.Kobj.kind_name a) (Treesls_cap.Kobj.kind_name b))
+            g.g_kinds
+        with
+        | [] -> [ Printf.sprintf "ckpt;captree;%s %d" (frame name) g.g_ns ]
+        | kinds ->
+          List.map
+            (fun (k, ns) ->
+              Printf.sprintf "ckpt;captree;%s;%s %d" (frame name)
+                (frame (Treesls_cap.Kobj.kind_name k))
+                ns)
+            kinds)
+      (sorted_groups t)
+  in
+  let phase name ns = if ns > 0 then [ Printf.sprintf "ckpt;%s %d" name ns ] else [] in
+  let attributed = List.fold_left (fun acc (_, g) -> acc + g.g_ns) 0 t.per_group in
+  phase "ipi" t.ipi_ns
+  @ captree
+  @ phase "captree;unattributed" (max 0 (t.captree_ns - attributed))
+  @ phase "others" t.others_ns
+  @ phase "hybrid_copy" t.hybrid_ns
 
 (* Every field is printed (the format is pinned by a tier-1 round-trip
    test); per_kind_ns is sorted by kind name so the output is
@@ -50,16 +97,22 @@ let pp ppf t =
     (float_of_int t.hybrid_ns /. 1e3)
     t.objects_walked t.full_objects t.pages_protected t.dram_dirty_copied t.migrated_in
     t.migrated_out t.cached_pages t.snapshot_bytes;
-  match
-    List.sort
-      (fun (a, _) (b, _) ->
-        compare (Treesls_cap.Kobj.kind_name a) (Treesls_cap.Kobj.kind_name b))
-      t.per_kind_ns
-  with
+  (match
+     List.sort
+       (fun (a, _) (b, _) ->
+         compare (Treesls_cap.Kobj.kind_name a) (Treesls_cap.Kobj.kind_name b))
+       t.per_kind_ns
+   with
   | [] -> ()
   | kinds ->
     Format.fprintf ppf " kinds=[%s]"
       (String.concat "; "
          (List.map
             (fun (k, ns) -> Printf.sprintf "%s=%dns" (Treesls_cap.Kobj.kind_name k) ns)
-            kinds))
+            kinds)));
+  match sorted_groups t with
+  | [] -> ()
+  | groups ->
+    Format.fprintf ppf " groups=[%s]"
+      (String.concat "; "
+         (List.map (fun (name, g) -> Printf.sprintf "%s=%dns/%d" name g.g_ns g.g_objects) groups))

@@ -1,5 +1,13 @@
 (** Per-checkpoint measurement report (feeds Figures 9-10 and Tables 2-4). *)
 
+type group_cost = {
+  g_ns : int;  (** captree time spent on this subtree's objects *)
+  g_objects : int;
+  g_kinds : (Treesls_cap.Kobj.kind * int) list;  (** breakdown within the subtree *)
+}
+(** STW cost of one capability subtree — the objects owned by one process
+    group ("kernel" for objects reachable only from the root). *)
+
 type t = {
   version : int;  (** version this checkpoint committed *)
   stw_ns : int;  (** total stop-the-world pause *)
@@ -8,6 +16,7 @@ type t = {
   others_ns : int;  (** leader: commit, GC, callbacks, bookkeeping *)
   hybrid_ns : int;  (** max per-core parallel hybrid-copy time *)
   per_kind_ns : (Treesls_cap.Kobj.kind * int) list;  (** cap-tree time by type *)
+  per_group : (string * group_cost) list;  (** cap-tree time by owning subtree *)
   objects_walked : int;
   full_objects : int;  (** objects checkpointed for the first time *)
   pages_protected : int;  (** dirty pages marked read-only *)
@@ -20,3 +29,11 @@ type t = {
 
 val zero : t
 val pp : Format.formatter -> t -> unit
+
+val sorted_groups : t -> (string * group_cost) list
+(** [per_group] sorted costliest first (name breaks ties). *)
+
+val folded_lines : t -> string list
+(** Collapsed-stack lines ([frame;frame;leaf value]) for flamegraph
+    tooling — per-group, per-kind captree cost plus the other STW phases;
+    spaces in frames are replaced with ['_']. *)

@@ -57,7 +57,11 @@ let reattach ?(slots = default_slots) ?(slot_size = default_slot_size) kernel mg
 
 let send t ~client payload =
   let sent_ns = Clock.now (Kernel.clock t.kernel) in
-  Ring.append t.ring (encode ~client ~sent_ns payload)
+  (* stamp the ambient request's enqueue time and tag the slot with its id
+     so the releasing checkpoint can attribute the visibility latency *)
+  let req = Treesls_obs.Probe.req_enqueued () in
+  Ring.append ~req t.ring (encode ~client ~sent_ns payload)
 
 let pending t = Ring.unpublished_count t.ring
 let delivered t = t.delivered
+let dropped t = Ring.dropped_count t.ring

@@ -42,13 +42,18 @@ val reattach :
 
 val send : t -> client:int -> Bytes.t -> bool
 (** Queue a response; it becomes visible at the next checkpoint. [false]
-    when the ring is full (client should back off). *)
+    when the ring is full (client should back off).  Stamps the ambient
+    request's enqueue time and tags the ring slot with its id, so the
+    releasing checkpoint version is recorded per request. *)
 
 val pending : t -> int
 (** Responses waiting for the next checkpoint. *)
 
 val delivered : t -> int
 (** Total responses released to clients since (re)attachment. *)
+
+val dropped : t -> int
+(** Responses shed because the ring was full (see {!Ring.dropped_count}). *)
 
 val flush_visible : t -> unit
 (** Deliver any already-visible messages (used after reattach). *)

@@ -1,6 +1,9 @@
 module Kernel = Treesls_kernel.Kernel
 module Kobj = Treesls_cap.Kobj
 module Cost = Treesls_sim.Cost
+module Store = Treesls_nvm.Store
+module Global_meta = Treesls_nvm.Global_meta
+module Probe = Treesls_obs.Probe
 
 type t = {
   kernel : Kernel.t;
@@ -9,6 +12,12 @@ type t = {
   slots : int;
   slot_size : int;
   pmo_id : int;
+  (* Volatile sidecar: request id per occupied slot (0 = untracked) and a
+     shed-message counter.  Observability state, deliberately NOT in the
+     PMO — after a crash the pending requests are dropped via Rtrace
+     anyway, so persisting the ids would buy nothing. *)
+  slot_req : int array;
+  mutable dropped : int;
 }
 
 
@@ -44,7 +53,8 @@ let create kernel proc ~name:_ ~slots ~slot_size =
   let pmo = Kernel.make_eternal_pmo kernel ~pages in
   let vpn = Kernel.map_shared kernel proc pmo ~writable:true in
   let t =
-    { kernel; proc; base = vpn * (Kernel.cost kernel).Cost.page_size; slots; slot_size; pmo_id = pmo.Kobj.pmo_id }
+    { kernel; proc; base = vpn * (Kernel.cost kernel).Cost.page_size; slots; slot_size;
+      pmo_id = pmo.Kobj.pmo_id; slot_req = Array.make slots 0; dropped = 0 }
   in
   write_cursor t 0 0;
   write_cursor t 8 0;
@@ -82,39 +92,65 @@ let reattach kernel proc ~name:_ ~slots ~slot_size =
     | Some r -> r.Kobj.vr_vpn
     | None -> Kernel.map_shared kernel proc pmo ~writable:true
   in
-  { kernel; proc; base = vpn * (Kernel.cost kernel).Cost.page_size; slots; slot_size; pmo_id = pmo.Kobj.pmo_id }
+  { kernel; proc; base = vpn * (Kernel.cost kernel).Cost.page_size; slots; slot_size;
+    pmo_id = pmo.Kobj.pmo_id; slot_req = Array.make slots 0; dropped = 0 }
 
-let append t msg =
+let append ?(req = 0) t msg =
   let len = Bytes.length msg in
   if len > t.slot_size - 4 then invalid_arg "Ring.append: message too large";
   let w = writer t and r = reader t in
-  if w - r >= t.slots then false
+  if w - r >= t.slots then begin
+    t.dropped <- t.dropped + 1;
+    Probe.count "extsync.ring.dropped" 1;
+    if req <> 0 then Probe.req_shed ~id:req;
+    false
+  end
   else begin
     let va = slot_vaddr t w in
     let hdr = Bytes.create 4 in
     Bytes.set_int32_le hdr 0 (Int32.of_int len);
     Kernel.write_bytes t.kernel t.proc ~vaddr:va hdr;
     Kernel.write_bytes t.kernel t.proc ~vaddr:(va + 4) msg;
+    t.slot_req.(w mod t.slots) <- req;
     write_cursor t 8 (w + 1);
     true
   end
 
 let on_checkpoint t =
   let w = writer t in
-  (* the extra [visible] cursor read costs simulated time, so only pay for
-     it when the trace is actually recording *)
-  (if Treesls_obs.Probe.tracing_enabled () then
-     let newly = w - visible t in
-     Treesls_obs.Probe.count "extsync.published" newly;
-     if newly > 0 then
-       Treesls_obs.Probe.instant "extsync.flush"
-         ~args:[ ("published", string_of_int newly); ("pmo", string_of_int t.pmo_id) ]);
+  let vis = visible t in
+  let newly = w - vis in
+  (* This commit's version is what released every message in [vis, w):
+     attribute each request's visibility to it. *)
+  if newly > 0 then begin
+    let version = Global_meta.version (Store.meta (Kernel.store t.kernel)) in
+    for i = vis to w - 1 do
+      let req = t.slot_req.(i mod t.slots) in
+      if req <> 0 then begin
+        Probe.req_released ~id:req ~version;
+        t.slot_req.(i mod t.slots) <- 0
+      end
+    done
+  end;
+  Probe.count "extsync.published" newly;
+  if newly > 0 then
+    Probe.instant "extsync.flush"
+      ~args:[ ("published", string_of_int newly); ("pmo", string_of_int t.pmo_id) ];
   write_cursor t 16 w
 
 let on_restore t =
   (* Messages beyond the visible cursor were never exposed: the rolled-back
      application will re-produce them. *)
-  write_cursor t 8 (visible t)
+  let vis = visible t in
+  let w = writer t in
+  for i = vis to w - 1 do
+    let req = t.slot_req.(i mod t.slots) in
+    if req <> 0 then begin
+      Probe.req_dropped ~id:req;
+      t.slot_req.(i mod t.slots) <- 0
+    end
+  done;
+  write_cursor t 8 vis
 
 let pop_visible t =
   let r = reader t in
@@ -131,3 +167,4 @@ let pop_visible t =
 let visible_count t = visible t - reader t
 let unpublished_count t = writer t - visible t
 let capacity t = t.slots
+let dropped_count t = t.dropped

@@ -26,15 +26,22 @@ val reattach : Kernel.t -> Kernel.process -> name:string -> slots:int -> slot_si
     kernel's root and re-derive cursors from its (preserved) content.
     [name], [slots] and [slot_size] must match {!create}. *)
 
-val append : t -> Bytes.t -> bool
-(** Enqueue a message (not yet visible); [false] when the ring is full. *)
+val append : ?req:int -> t -> Bytes.t -> bool
+(** Enqueue a message (not yet visible); [false] when the ring is full.
+    A full ring counts the shed message in {!dropped_count} and the
+    [extsync.ring.dropped] metric (and marks request [req], if nonzero,
+    as shed) so latency percentiles cannot silently exclude shed load.
+    [req] tags the slot with the request id whose reply this is, for
+    release attribution at the next checkpoint. *)
 
 val on_checkpoint : t -> unit
-(** Checkpoint callback: publish everything appended so far. *)
+(** Checkpoint callback: publish everything appended so far, attributing
+    each tagged message's release to the just-committed version (via
+    [Probe.req_released]). *)
 
 val on_restore : t -> unit
 (** Restore callback: drop unpublished messages ([writer] back to
-    [visible_writer]). *)
+    [visible_writer]); their tagged requests are marked dropped. *)
 
 val pop_visible : t -> Bytes.t option
 (** Consume the next published message. *)
@@ -46,3 +53,7 @@ val unpublished_count : t -> int
 (** Appended after the last checkpoint (invisible; lost on restore). *)
 
 val capacity : t -> int
+
+val dropped_count : t -> int
+(** Messages shed because the ring was full (volatile counter: resets on
+    reattach, like the rest of the observability state). *)

@@ -29,14 +29,20 @@ let call k conn payload =
   | Some h ->
     (* two crossings: call into the server, return to the client *)
     let c = Kernel.cost k in
+    let req = Treesls_obs.Probe.req_current () in
     let tok =
-      Treesls_obs.Probe.enter_v "ipc.call" ~args:[ ("conn", string_of_int conn.Kobj.ic_id) ]
+      Treesls_obs.Probe.enter_v "ipc.call"
+        ~args:
+          (("conn", string_of_int conn.Kobj.ic_id)
+          :: (if req <> 0 then [ ("req", string_of_int req) ] else []))
     in
     Kernel.syscall k ~work_ns:c.Cost.syscall_ns;
     (Kernel.stats k).Kernel.ipc_calls <- (Kernel.stats k).Kernel.ipc_calls + 1;
     Treesls_obs.Probe.count "ipc.calls" 1;
+    Treesls_obs.Probe.req_ipc ();
     conn.Kobj.ic_calls <- conn.Kobj.ic_calls + 1;
     let reply = h payload in
+    Treesls_obs.Probe.req_handled ();
     Treesls_obs.Probe.exit tok;
     reply
 

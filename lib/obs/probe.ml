@@ -4,6 +4,7 @@ type t = {
   clock : Clock.t;
   trace : Trace.t;
   metrics : Metrics.t;
+  rtrace : Rtrace.t;
   mutable tracing : bool;
   mutable verbose : bool;
   mutable backing_pmo : int option;
@@ -21,6 +22,7 @@ let create ?(capacity = 4096) ~clock () =
     clock;
     trace = Trace.create ~capacity ();
     metrics = Metrics.create ();
+    rtrace = Rtrace.create ();
     tracing = false;
     verbose = false;
     backing_pmo = None;
@@ -33,6 +35,7 @@ let installed () = !current
 let clock t = t.clock
 let trace t = t.trace
 let metrics t = t.metrics
+let rtrace t = t.rtrace
 
 let set_tracing t on = t.tracing <- on
 let tracing t = t.tracing
@@ -81,11 +84,94 @@ let instant_v ?args name =
 
 let crash_mark () =
   match !current with
-  | Some t when t.tracing ->
+  | Some t ->
+    (* pending requests die with the un-committed state regardless of
+       whether the trace ring is recording *)
+    Rtrace.on_crash t.rtrace;
+    if t.tracing then begin
+      let now = Clock.now t.clock in
+      Trace.abort_open t.trace ~now;
+      Trace.instant t.trace ~now "crash"
+    end
+  | None -> ()
+
+(* --- request-causality emitters --------------------------------------- *)
+
+(* Like metrics, request tracking is always on while a probe is installed:
+   it costs host time only (hash-table + histogram updates), never
+   simulated time, and the latency observatory must not require the trace
+   ring to be recording. *)
+
+let req_arrive ~origin =
+  match !current with
+  | Some t -> Rtrace.arrive t.rtrace ~now:(Clock.now t.clock) ~origin
+  | None -> 0
+
+let req_current () = match !current with Some t -> Rtrace.current_id t.rtrace | None -> 0
+
+let req_handled () =
+  match !current with
+  | Some t -> Rtrace.handled t.rtrace ~now:(Clock.now t.clock)
+  | None -> ()
+
+let req_ipc () = match !current with Some t -> Rtrace.note_ipc t.rtrace | None -> ()
+
+let req_enqueued () =
+  match !current with
+  | Some t -> Rtrace.enqueued t.rtrace ~now:(Clock.now t.clock)
+  | None -> 0
+
+let req_shed ~id =
+  match !current with
+  | Some t ->
+    if Rtrace.shed t.rtrace ~id then Metrics.add t.metrics "req.shed" 1
+  | None -> ()
+
+let req_dropped ~id =
+  match !current with
+  | Some t ->
+    if Rtrace.drop t.rtrace ~id then Metrics.add t.metrics "req.dropped" 1
+  | None -> ()
+
+let ckpt_committed ~version ~stw_t0 ~stw_t1 =
+  match !current with
+  | Some t -> Rtrace.on_commit t.rtrace ~version ~stw_t0 ~stw_t1
+  | None -> ()
+
+let req_released ~id ~version =
+  match !current with
+  | Some t -> (
     let now = Clock.now t.clock in
-    Trace.abort_open t.trace ~now;
-    Trace.instant t.trace ~now "crash"
-  | Some _ | None -> ()
+    match Rtrace.released t.rtrace ~now ~id ~version with
+    | None -> ()
+    | Some rq ->
+      Metrics.add t.metrics "req.released" 1;
+      Metrics.observe t.metrics "req.enq2vis_ns" (rq.Rtrace.rq_visible_ns - rq.Rtrace.rq_enqueued_ns);
+      Metrics.observe t.metrics "req.e2e_ns" (rq.Rtrace.rq_visible_ns - rq.Rtrace.rq_arrive_ns);
+      if t.tracing then begin
+        (* Retroactive request slice plus a flow arrow from its enqueue
+           point to the interior of the ckpt.stw slice that released it.
+           Both flow ends use the request id as the correlation id. *)
+        let dur = rq.Rtrace.rq_visible_ns - rq.Rtrace.rq_arrive_ns in
+        Trace.complete t.trace "req"
+          ~args:
+            [
+              ("req", string_of_int rq.Rtrace.rq_id);
+              ("origin", rq.Rtrace.rq_origin);
+              ("commit", "v" ^ string_of_int version);
+            ]
+          ~ts_ns:rq.Rtrace.rq_arrive_ns ~dur_ns:dur;
+        Trace.flow_start t.trace ~flow_id:rq.Rtrace.rq_id "req.flow"
+          ~ts_ns:rq.Rtrace.rq_enqueued_ns;
+        let fe_ts =
+          match Rtrace.last_commit t.rtrace with
+          | Some (v, t0, t1) when v = version -> min (max t0 ((t0 + t1) / 2)) (max t0 (t1 - 1))
+          | Some _ | None -> now
+        in
+        Trace.flow_end t.trace ~flow_id:rq.Rtrace.rq_id "req.flow" ~ts_ns:fe_ts
+          ~args:[ ("commit", "v" ^ string_of_int version) ]
+      end)
+  | None -> ()
 
 (* --- metrics emitters ------------------------------------------------- *)
 

@@ -27,6 +27,10 @@ val clock : t -> Treesls_sim.Clock.t
 val trace : t -> Trace.t
 val metrics : t -> Metrics.t
 
+val rtrace : t -> Rtrace.t
+(** Request-causality tracker (see {!Rtrace}); always collecting while
+    the probe is installed, like metrics. *)
+
 val set_tracing : t -> bool -> unit
 val tracing : t -> bool
 val set_verbose : t -> bool -> unit
@@ -58,7 +62,45 @@ val instant_v : ?args:(string * string) list -> string -> unit
 
 val crash_mark : unit -> unit
 (** Close all open spans as [aborted=true] and record a ["crash"] instant —
-    called by the checkpoint manager when a power failure is injected. *)
+    called by the checkpoint manager when a power failure is injected.
+    Also finalizes every pending request as dropped (see {!Rtrace.on_crash}),
+    independent of whether the trace ring is recording. *)
+
+(** {2 Request-causality emitters} — active whenever a probe is installed
+    (like metrics); host-time cost only.  Call sites: [Kv_app.call] marks
+    arrival, [Ipc.call] marks handling, [Net_server.send]/[Ring.append]
+    mark enqueue/shed, and [Ring.on_checkpoint] marks release with the
+    committing version. *)
+
+val req_arrive : origin:string -> int
+(** New externally-driven request becomes the ambient current one;
+    returns its id (0 with no probe). *)
+
+val req_current : unit -> int
+val req_handled : unit -> unit
+val req_ipc : unit -> unit
+
+val req_enqueued : unit -> int
+(** Stamp the current request's enqueue-on-ring time; returns its id so
+    the ring can remember which request each slot's reply belongs to. *)
+
+val req_shed : id:int -> unit
+(** The ring was full; the reply for request [id] was dropped at enqueue. *)
+
+val req_dropped : id:int -> unit
+(** Request [id]'s enqueued reply was discarded (restore found it past
+    [visible_writer]). *)
+
+val req_released : id:int -> version:int -> unit
+(** Checkpoint [version]'s commit made request [id]'s reply visible.
+    Feeds [req.enq2vis_ns]/[req.e2e_ns] metrics; with tracing on, also
+    emits a retroactive ["req"] span and a ["req.flow"] flow arrow ending
+    inside the releasing [ckpt.stw] slice. *)
+
+val ckpt_committed : version:int -> stw_t0:int -> stw_t1:int -> unit
+(** Record the just-committed checkpoint's STW window so release flow
+    arrows can bind to its trace slice.  Called by [Checkpoint.run]
+    before the post-commit callbacks that publish ring entries. *)
 
 (** {2 Metrics emitters} — active whenever a probe is installed. *)
 

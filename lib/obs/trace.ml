@@ -1,4 +1,4 @@
-type phase = Complete | Instant
+type phase = Complete | Instant | Flow_start | Flow_end
 
 type event = {
   seq : int;
@@ -73,6 +73,14 @@ let complete t ?(args = []) name ~ts_ns ~dur_ns =
   t.next_id <- id + 1;
   record t ~name ~ph:Complete ~ts_ns ~dur_ns ~id ~parent:(current_parent t) ~args
 
+(* Flow events carry the caller's correlation id (e.g. a request id) in
+   [id]; the viewer binds each end to the enclosing slice by timestamp. *)
+let flow_start t ?(args = []) ~flow_id name ~ts_ns =
+  record t ~name ~ph:Flow_start ~ts_ns ~dur_ns:0 ~id:flow_id ~parent:0 ~args
+
+let flow_end t ?(args = []) ~flow_id name ~ts_ns =
+  record t ~name ~ph:Flow_end ~ts_ns ~dur_ns:0 ~id:flow_id ~parent:0 ~args
+
 let abort_open t ~now =
   List.iter (fun s -> close_span t ~now ~extra_args:[ ("aborted", "true") ] s) t.stack;
   t.stack <- []
@@ -117,15 +125,20 @@ let event_json ~pid ~tid b e =
   Buffer.add_string b
     (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d"
        (json_escape e.name) (json_escape e.cat)
-       (match e.ph with Complete -> "X" | Instant -> "i")
+       (match e.ph with Complete -> "X" | Instant -> "i" | Flow_start -> "s" | Flow_end -> "f")
        (us e.ts_ns) pid tid);
   (match e.ph with
   | Complete -> Buffer.add_string b (Printf.sprintf ",\"dur\":%s" (us e.dur_ns))
-  | Instant -> Buffer.add_string b ",\"s\":\"t\"");
+  | Instant -> Buffer.add_string b ",\"s\":\"t\""
+  | Flow_start -> Buffer.add_string b (Printf.sprintf ",\"id\":%d" e.id)
+  (* "bp":"e" binds the arrow to the enclosing slice rather than the
+     next slice on the track — required to land on ckpt.stw itself *)
+  | Flow_end -> Buffer.add_string b (Printf.sprintf ",\"id\":%d,\"bp\":\"e\"" e.id));
   Buffer.add_string b ",\"args\":{";
+  let is_flow = match e.ph with Flow_start | Flow_end -> true | _ -> false in
   let args =
     [ ("seq", string_of_int e.seq) ]
-    @ (if e.id <> 0 then [ ("span", string_of_int e.id) ] else [])
+    @ (if e.id <> 0 && not is_flow then [ ("span", string_of_int e.id) ] else [])
     @ (if e.parent <> 0 then [ ("parent", string_of_int e.parent) ] else [])
     @ e.args
   in
@@ -160,3 +173,9 @@ let pp_event ppf e =
   | Instant ->
     Format.fprintf ppf "[%8d] %10.3fus %12s %-20s%s" e.seq (float_of_int e.ts_ns /. 1e3) "" e.name
       args
+  | Flow_start ->
+    Format.fprintf ppf "[%8d] %10.3fus %12s %-20s id=%d%s" e.seq (float_of_int e.ts_ns /. 1e3)
+      "flow>" e.name e.id args
+  | Flow_end ->
+    Format.fprintf ppf "[%8d] %10.3fus %12s %-20s id=%d%s" e.seq (float_of_int e.ts_ns /. 1e3)
+      ">flow" e.name e.id args

@@ -12,7 +12,7 @@
     duration, and the enclosing span's id.  Instants record immediately
     under the currently open span. *)
 
-type phase = Complete | Instant
+type phase = Complete | Instant | Flow_start | Flow_end
 
 type event = {
   seq : int;  (** global record index, monotonically increasing *)
@@ -21,7 +21,7 @@ type event = {
   ph : phase;
   ts_ns : int;  (** span begin (or instant) time *)
   dur_ns : int;  (** 0 for instants *)
-  id : int;  (** span id; 0 for instants *)
+  id : int;  (** span id; 0 for instants; flow correlation id for flows *)
   parent : int;  (** enclosing span id; 0 at top level *)
   args : (string * string) list;
 }
@@ -45,6 +45,16 @@ val complete : t -> ?args:(string * string) list -> string -> ts_ns:int -> dur_n
     as overlapping the leader (e.g. the parallel hybrid copy), where
     enter/exit around the host-order code would measure nothing. *)
 
+val flow_start : t -> ?args:(string * string) list -> flow_id:int -> string -> ts_ns:int -> unit
+(** Start of a flow arrow ([ph:"s"]).  Both ends of a flow share [name]
+    and [flow_id]; the viewer attaches each end to the slice enclosing
+    its timestamp, drawing an arrow between the two slices — used to link
+    a request span to the [ckpt.stw] span that released its reply. *)
+
+val flow_end : t -> ?args:(string * string) list -> flow_id:int -> string -> ts_ns:int -> unit
+(** End of a flow arrow ([ph:"f"], with [bp:"e"] so it binds to the
+    enclosing slice). *)
+
 val abort_open : t -> now:int -> unit
 (** Close every open span with an [aborted=true] arg — called when a crash
     ends them mid-flight. *)
@@ -65,9 +75,9 @@ val clear : t -> unit
 
 val to_perfetto_json : ?pid:int -> ?tid:int -> t -> string
 (** Chrome/Perfetto [trace_event] JSON ([{"traceEvents":[...]}]): spans as
-    ["ph":"X"] complete events, instants as ["ph":"i"]; [ts]/[dur] in
-    microseconds with nanosecond precision.  Load in Perfetto UI or
-    [chrome://tracing]. *)
+    ["ph":"X"] complete events, instants as ["ph":"i"], flows as
+    ["ph":"s"]/["ph":"f"]; [ts]/[dur] in microseconds with nanosecond
+    precision.  Load in Perfetto UI or [chrome://tracing]. *)
 
 val pp_event : Format.formatter -> event -> unit
 

@@ -240,6 +240,11 @@ let report_pp_pinned () =
       others_ns = 400;
       hybrid_ns = 9_500;
       per_kind_ns = [ (Kobj.Pmo_k, 4_200); (Kobj.Thread_k, 800); (Kobj.Cap_group_k, 1_500) ];
+      per_group =
+        [
+          ("shell", { Report.g_ns = 1_200; g_objects = 9; g_kinds = [ (Kobj.Pmo_k, 1_200) ] });
+          ("memcached", { Report.g_ns = 5_100; g_objects = 20; g_kinds = [] });
+        ];
       objects_walked = 42;
       full_objects = 5;
       pages_protected = 17;
@@ -250,12 +255,27 @@ let report_pp_pinned () =
       snapshot_bytes = 2_048;
     }
   in
-  (* per_kind_ns prints sorted by kind name, independent of walk order *)
+  (* per_kind_ns prints sorted by kind name, per_group costliest-first,
+     independent of walk order *)
   check_string "full report"
     "ckpt v7: stw=12.4us (ipi=1.0 captree=8.0 others=0.4 | hybrid=9.5) objs=42(full 5) \
      ro=17 sc=3 mig=+2/-1 cached=64 snap=2048B \
-     kinds=[Cap Group=1500ns; PMO=4200ns; Thread=800ns]"
-    (Format.asprintf "%a" Report.pp r)
+     kinds=[Cap Group=1500ns; PMO=4200ns; Thread=800ns] \
+     groups=[memcached=5100ns/20; shell=1200ns/9]"
+    (Format.asprintf "%a" Report.pp r);
+  (* folded flamegraph lines: frames never contain spaces; unattributed
+     captree remainder keeps the stacks summing to the phase totals *)
+  Alcotest.(check (list string))
+    "folded lines"
+    [
+      "ckpt;ipi 1000";
+      "ckpt;captree;memcached 5100";
+      "ckpt;captree;shell;PMO 1200";
+      "ckpt;captree;unattributed 1700";
+      "ckpt;others 400";
+      "ckpt;hybrid_copy 9500";
+    ]
+    (Report.folded_lines r)
 
 let () =
   Alcotest.run "audit"

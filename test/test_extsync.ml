@@ -79,6 +79,74 @@ let ring_restore_discards_unpublished () =
   | None -> Alcotest.fail "published lost");
   check_bool "nothing else" true (Ring.pop_visible r = None)
 
+(* visible_writer correctness when the ring wraps BETWEEN two checkpoints:
+   cursors keep counting past slot indices, so a batch that straddles the
+   physical end of the slot array must still publish exactly and in order. *)
+let ring_wrap_between_checkpoints () =
+  let _, k, proc = boot_with_proc () in
+  let r = Ring.create k proc ~name:"t" ~slots:4 ~slot_size:64 in
+  (* advance cursors to 3 of 4: the next batch of 3 wraps physically *)
+  List.iter (fun m -> ignore (Ring.append r (Bytes.of_string m))) [ "w0"; "w1"; "w2" ];
+  Ring.on_checkpoint r;
+  let pop () = Bytes.to_string (Option.get (Ring.pop_visible r)) in
+  let a = pop () in
+  let b = pop () in
+  let c = pop () in
+  Alcotest.(check (list string)) "first batch" [ "w0"; "w1"; "w2" ] [ a; b; c ];
+  (* slots 3,0,1 — wraps between the two checkpoints *)
+  List.iter (fun m -> check_bool "append" true (Ring.append r (Bytes.of_string m)))
+    [ "x0"; "x1"; "x2" ];
+  check_int "nothing visible before commit" 0 (Ring.visible_count r);
+  Ring.on_checkpoint r;
+  check_int "all published" 3 (Ring.visible_count r);
+  let a = pop () in
+  let b = pop () in
+  let c = pop () in
+  Alcotest.(check (list string)) "wrapped batch in order" [ "x0"; "x1"; "x2" ] [ a; b; c ];
+  check_bool "drained" true (Ring.pop_visible r = None)
+
+(* restore discards EXACTLY the invisible suffix when the published part
+   and the unpublished part sit on opposite sides of the physical wrap *)
+let ring_restore_exact_suffix_wrapped () =
+  let _, k, proc = boot_with_proc () in
+  let r = Ring.create k proc ~name:"t" ~slots:4 ~slot_size:64 in
+  List.iter (fun m -> ignore (Ring.append r (Bytes.of_string m))) [ "a"; "b"; "c" ];
+  Ring.on_checkpoint r;
+  (* consume two, freeing slots 0-1; then fill past the wrap *)
+  ignore (Ring.pop_visible r);
+  ignore (Ring.pop_visible r);
+  ignore (Ring.append r (Bytes.of_string "d"));
+  (* slot 3 *)
+  ignore (Ring.append r (Bytes.of_string "e"));
+  (* slot 0 (wrapped) *)
+  check_int "two unpublished" 2 (Ring.unpublished_count r);
+  Ring.on_restore r;
+  check_int "suffix dropped" 0 (Ring.unpublished_count r);
+  (match Ring.pop_visible r with
+  | Some m -> Alcotest.(check string) "published survivor intact" "c" (Bytes.to_string m)
+  | None -> Alcotest.fail "published message lost");
+  check_bool "nothing else" true (Ring.pop_visible r = None);
+  (* the freed slots are reusable after the rollback *)
+  check_bool "append after restore" true (Ring.append r (Bytes.of_string "f"));
+  Ring.on_checkpoint r;
+  (match Ring.pop_visible r with
+  | Some m -> Alcotest.(check string) "post-restore append" "f" (Bytes.to_string m)
+  | None -> Alcotest.fail "post-restore append lost")
+
+let ring_counts_drops () =
+  let _, k, proc = boot_with_proc () in
+  let r = Ring.create k proc ~name:"t" ~slots:2 ~slot_size:64 in
+  check_int "no drops yet" 0 (Ring.dropped_count r);
+  ignore (Ring.append r (Bytes.of_string "x"));
+  ignore (Ring.append r (Bytes.of_string "y"));
+  check_bool "full" false (Ring.append r (Bytes.of_string "z"));
+  check_bool "still full" false (Ring.append r (Bytes.of_string "z2"));
+  check_int "two drops counted" 2 (Ring.dropped_count r);
+  Ring.on_checkpoint r;
+  ignore (Ring.pop_visible r);
+  check_bool "slot reclaimed" true (Ring.append r (Bytes.of_string "z"));
+  check_int "count sticks" 2 (Ring.dropped_count r)
+
 let ring_message_too_large () =
   let _, k, proc = boot_with_proc () in
   let r = Ring.create k proc ~name:"t" ~slots:2 ~slot_size:32 in
@@ -178,6 +246,10 @@ let () =
           Alcotest.test_case "fifo order" `Quick ring_fifo_order;
           Alcotest.test_case "full ring" `Quick ring_full;
           Alcotest.test_case "wraparound" `Quick ring_wraparound;
+          Alcotest.test_case "wrap between checkpoints" `Quick ring_wrap_between_checkpoints;
+          Alcotest.test_case "restore drops exact wrapped suffix" `Quick
+            ring_restore_exact_suffix_wrapped;
+          Alcotest.test_case "counts drops when full" `Quick ring_counts_drops;
           Alcotest.test_case "restore discards unpublished" `Quick
             ring_restore_discards_unpublished;
           Alcotest.test_case "oversized message" `Quick ring_message_too_large;

@@ -8,8 +8,11 @@
 module Trace = Treesls_obs.Trace
 module Metrics = Treesls_obs.Metrics
 module Probe = Treesls_obs.Probe
+module Rtrace = Treesls_obs.Rtrace
 module System = Treesls.System
 module Report = Treesls_ckpt.Report
+module Kernel = Treesls_kernel.Kernel
+module Net_server = Treesls_extsync.Net_server
 module Kv_app = Treesls_apps.Kv_app
 
 let check_int = Alcotest.(check int)
@@ -235,6 +238,169 @@ let perfetto_json_wellformed () =
   Alcotest.(check (float 1e-9)) "ts in us" 1.0 (num (obj_field "ts" stw));
   Alcotest.(check (float 1e-9)) "dur in us" 1.0 (num (obj_field "dur" stw))
 
+let perfetto_flow_events () =
+  let tr = Trace.create () in
+  let a = Trace.begin_span tr ~now:1_000 "ckpt.stw" in
+  Trace.flow_start tr ~flow_id:42 "req.flow" ~ts_ns:500;
+  Trace.flow_end tr ~flow_id:42 "req.flow" ~ts_ns:1_500;
+  Trace.end_span tr ~now:2_000 a;
+  let j = parse_json (Trace.to_perfetto_json ~pid:1 ~tid:1 tr) in
+  let evs = match obj_field "traceEvents" j with JArr l -> l | _ -> Alcotest.fail "array" in
+  let by_ph p =
+    List.filter (fun e -> str (obj_field "ph" e) = p) evs
+  in
+  (match by_ph "s" with
+  | [ s ] ->
+    check_bool "flow name" true (str (obj_field "name" s) = "req.flow");
+    (* flow binding id is a TOP-LEVEL field, not an arg *)
+    check_int "flow id" 42 (int_of_float (num (obj_field "id" s)));
+    Alcotest.(check (float 1e-9)) "flow start ts" 0.5 (num (obj_field "ts" s))
+  | l -> Alcotest.failf "expected 1 flow start, got %d" (List.length l));
+  (match by_ph "f" with
+  | [ f ] ->
+    check_int "flow end id matches" 42 (int_of_float (num (obj_field "id" f)));
+    (* bp:e binds the arrow head to the enclosing slice (the stw span) *)
+    check_bool "binding point" true (str (obj_field "bp" f) = "e")
+  | l -> Alcotest.failf "expected 1 flow end, got %d" (List.length l))
+
+(* ---- rtrace: request causality ---- *)
+
+let rtrace_lifecycle () =
+  let rt = Rtrace.create () in
+  let id = Rtrace.arrive rt ~now:100 ~origin:"kv.set" in
+  check_int "ids start at 1" 1 id;
+  check_int "current" id (Rtrace.current_id rt);
+  Rtrace.note_ipc rt;
+  Rtrace.handled rt ~now:130;
+  check_int "enqueued returns current id" id (Rtrace.enqueued rt ~now:150);
+  check_int "enqueue stamp is first-wins" 150
+    (ignore (Rtrace.enqueued rt ~now:170);
+     match Rtrace.find_live rt id with
+     | Some r -> r.Rtrace.rq_enqueued_ns
+     | None -> -1);
+  check_int "still live until released" 1 (Rtrace.live_count rt);
+  (match Rtrace.released rt ~now:1_150 ~id ~version:7 with
+  | Some r ->
+    check_int "arrive ts" 100 r.Rtrace.rq_arrive_ns;
+    check_int "handled ts" 130 r.Rtrace.rq_handled_ns;
+    check_int "enqueued ts" 150 r.Rtrace.rq_enqueued_ns;
+    check_int "visible ts" 1_150 r.Rtrace.rq_visible_ns;
+    check_int "commit version recorded" 7 r.Rtrace.rq_commit_ver;
+    check_int "ipc calls" 1 r.Rtrace.rq_ipc_calls;
+    check_bool "outcome" true (r.Rtrace.rq_outcome = Rtrace.Released)
+  | None -> Alcotest.fail "released lost the request");
+  check_int "no longer live" 0 (Rtrace.live_count rt);
+  check_int "released counted" 1 (Rtrace.released_count rt);
+  let s = Rtrace.enq2vis_summary rt in
+  check_int "one sample" 1 s.Rtrace.s_count;
+  check_int "enq->vis p50" 1_000 s.Rtrace.s_p50_ns;
+  check_int "e2e p50" 1_050 (Rtrace.e2e_summary rt).Rtrace.s_p50_ns
+
+let rtrace_internal_finalized () =
+  let rt = Rtrace.create () in
+  (* enqueue with no current request: internally generated send, id 0 *)
+  check_int "no ambient current yet" 0 (Rtrace.enqueued rt ~now:0);
+  ignore (Rtrace.arrive rt ~now:0 ~origin:"kv.get");
+  (* next arrival finalizes the previous current: it produced no external
+     output, so it is Internal, not leaked as live forever *)
+  let id2 = Rtrace.arrive rt ~now:10 ~origin:"kv.set" in
+  check_int "internal finalized" 1 (Rtrace.internal_count rt);
+  check_int "only new one live" 1 (Rtrace.live_count rt);
+  check_int "current moved on" id2 (Rtrace.current_id rt);
+  ignore (Rtrace.enqueued rt ~now:20);
+  (* an enqueued request is NOT internal: the next arrival leaves it live,
+     waiting for its releasing commit *)
+  ignore (Rtrace.arrive rt ~now:30 ~origin:"kv.set");
+  check_int "enqueued one still live" 2 (Rtrace.live_count rt);
+  check_int "internal count unchanged" 1 (Rtrace.internal_count rt)
+
+let rtrace_shed_and_crash () =
+  let rt = Rtrace.create () in
+  let a = Rtrace.arrive rt ~now:0 ~origin:"kv.set" in
+  ignore (Rtrace.enqueued rt ~now:5);
+  check_bool "shed known id" true (Rtrace.shed rt ~id:a);
+  check_int "shed counted" 1 (Rtrace.shed_count rt);
+  check_bool "shed unknown id" false (Rtrace.shed rt ~id:999);
+  let b = Rtrace.arrive rt ~now:10 ~origin:"kv.set" in
+  ignore (Rtrace.enqueued rt ~now:15);
+  Rtrace.on_crash rt;
+  check_int "pending dropped by crash" 1 (Rtrace.dropped_count rt);
+  check_int "nothing live after crash" 0 (Rtrace.live_count rt);
+  (match Rtrace.completed rt with
+  | newest :: _ ->
+    check_int "newest is the crashed one" b newest.Rtrace.rq_id;
+    check_bool "outcome dropped" true (newest.Rtrace.rq_outcome = Rtrace.Dropped)
+  | [] -> Alcotest.fail "no completed records");
+  check_int "completed_total" 2 (Rtrace.completed_total rt)
+
+(* end to end: external requests flow through app -> ring -> checkpoint and
+   the Perfetto export links each request span to the releasing ckpt.stw
+   span with a flow arrow *)
+let rtrace_flows_end_to_end () =
+  let sys = System.boot ~interval_us:1000 () in
+  System.enable_tracing sys;
+  let app = Kv_app.launch ~keys_hint:2_000 sys Kv_app.Memcached in
+  let netdrv =
+    match Kernel.find_process (System.kernel sys) ~name:"netdrv" with
+    | Some p -> p
+    | None -> Alcotest.fail "netdrv missing"
+  in
+  let delivered = ref 0 in
+  let net =
+    Net_server.create (System.kernel sys) (System.manager sys) ~proc:netdrv
+      ~deliver:(fun ~client:_ ~sent_ns:_ ~payload:_ -> incr delivered)
+  in
+  for i = 0 to 9 do
+    Kv_app.set_i app i;
+    check_bool "send accepted" true (Net_server.send net ~client:i (Bytes.of_string "+OK"))
+  done;
+  ignore (System.checkpoint sys);
+  check_int "all replies delivered" 10 !delivered;
+  let rt = Probe.rtrace (System.obs sys) in
+  check_int "all requests released" 10 (Rtrace.released_count rt);
+  let ver = Treesls_nvm.Global_meta.version (Treesls_nvm.Store.meta (Kernel.store (System.kernel sys))) in
+  List.iter
+    (fun r ->
+      if r.Rtrace.rq_outcome = Rtrace.Released then begin
+        check_int "released by the concrete commit" ver r.Rtrace.rq_commit_ver;
+        check_bool "timeline ordered" true
+          (r.Rtrace.rq_arrive_ns <= r.Rtrace.rq_handled_ns
+          && r.Rtrace.rq_handled_ns <= r.Rtrace.rq_enqueued_ns
+          && r.Rtrace.rq_enqueued_ns < r.Rtrace.rq_visible_ns)
+      end)
+    (Rtrace.completed rt);
+  (* the export carries req spans and flow arrows into the stw slice *)
+  let j = parse_json (Trace.to_perfetto_json ~pid:1 ~tid:1 (System.trace sys)) in
+  let evs = match obj_field "traceEvents" j with JArr l -> l | _ -> Alcotest.fail "array" in
+  let flows p = List.filter (fun e ->
+    str (obj_field "name" e) = "req.flow" && str (obj_field "ph" e) = p) evs
+  in
+  let starts = flows "s" and ends_ = flows "f" in
+  check_int "one flow start per request" 10 (List.length starts);
+  check_int "one flow end per request" 10 (List.length ends_);
+  let req_spans = List.filter (fun e -> str (obj_field "name" e) = "req") evs in
+  check_int "one retroactive span per request" 10 (List.length req_spans);
+  (* each start's id has a matching end, and the end lands inside the stw
+     window so the arrow binds to the ckpt.stw slice *)
+  let stw =
+    match List.filter (fun e -> str (obj_field "name" e) = "ckpt.stw") evs with
+    | [ e ] -> e
+    | l -> Alcotest.failf "expected 1 stw span, got %d" (List.length l)
+  in
+  let stw_t0 = num (obj_field "ts" stw) in
+  let stw_t1 = stw_t0 +. num (obj_field "dur" stw) in
+  List.iter
+    (fun s ->
+      let fid = int_of_float (num (obj_field "id" s)) in
+      match
+        List.find_opt (fun f -> int_of_float (num (obj_field "id" f)) = fid) ends_
+      with
+      | None -> Alcotest.failf "flow %d has no end" fid
+      | Some f ->
+        let ts = num (obj_field "ts" f) in
+        check_bool "flow end inside stw window" true (ts >= stw_t0 && ts < stw_t1))
+    starts
+
 (* ---- metrics ---- *)
 
 let metrics_snapshot_reset () =
@@ -385,7 +551,17 @@ let () =
           Alcotest.test_case "abort marks open spans" `Quick abort_marks_open_spans;
         ] );
       ( "perfetto",
-        [ Alcotest.test_case "export is well-formed JSON" `Quick perfetto_json_wellformed ] );
+        [
+          Alcotest.test_case "export is well-formed JSON" `Quick perfetto_json_wellformed;
+          Alcotest.test_case "flow events" `Quick perfetto_flow_events;
+        ] );
+      ( "rtrace",
+        [
+          Alcotest.test_case "request lifecycle" `Quick rtrace_lifecycle;
+          Alcotest.test_case "internal requests finalized" `Quick rtrace_internal_finalized;
+          Alcotest.test_case "shed and crash-drop" `Quick rtrace_shed_and_crash;
+          Alcotest.test_case "flows link requests to stw" `Quick rtrace_flows_end_to_end;
+        ] );
       ("metrics", [ Alcotest.test_case "snapshot and reset" `Quick metrics_snapshot_reset ]);
       ( "system",
         [
