@@ -28,6 +28,7 @@ ci:
 	$(MAKE) fmt
 	dune exec bench/main.exe -- --exp smoke --audit
 	dune exec bench/main.exe -- --exp extsync_lat --smoke --json BENCH_extsync_lat.json
+	dune exec bench/main.exe -- --exp incr_walk --smoke --audit --json-dir .
 
 # Full evaluation sweep; drops one BENCH_<exp>.json per experiment.
 bench:

@@ -37,13 +37,40 @@ let ablate_copy () =
   in
   let rows =
     [
-      run "copy-on-write only" (features ~ckpt:true ~track:true ~copy:true ~hybrid:false);
-      run "hybrid copy" (features ~ckpt:true ~track:true ~copy:true ~hybrid:true);
+      run "copy-on-write only" (features ~ckpt:true ~track:true ~copy:true ~hybrid:false ());
+      run "hybrid copy" (features ~ckpt:true ~track:true ~copy:true ~hybrid:true ());
     ]
   in
   Table.print ~title:"Ablation: page-copy strategy (Memcached, 1000 Hz, 8k ops)"
     ~header:
       [ "Strategy"; "run time (ms)"; "avg STW (us)"; "avg hybrid (us)"; "CoW faults"; "stop-and-copies/ckpt" ]
+    rows
+
+(* Incremental vs eager capability-tree walk (exp_incr_walk has the full
+   sweep; this is the ablation column on a real workload). *)
+let ablate_walk () =
+  let run name feats =
+    let sys = boot ~features:feats () in
+    let rng = Rng.create 83L in
+    let app = launch sys rng W_memcached in
+    run_ops sys ~n:3_000 app.step;
+    let reports = collect_reports sys ~n:6_000 app.step in
+    [
+      name;
+      f1 (avg_reports reports (fun r -> r.Report.objects_walked));
+      f1 (avg_reports reports (fun r -> r.Report.objects_skipped));
+      f1 (avg_reports reports (fun r -> r.Report.captree_ns) /. 1e3);
+      f1 (avg_reports reports (fun r -> r.Report.stw_ns) /. 1e3);
+    ]
+  in
+  let rows =
+    [
+      run "eager" (features ~incr:false ~ckpt:true ~track:true ~copy:true ~hybrid:true ());
+      run "incremental" (features ~incr:true ~ckpt:true ~track:true ~copy:true ~hybrid:true ());
+    ]
+  in
+  Table.print ~title:"Ablation: eager vs incremental capability-tree walk (Memcached, 6k ops)"
+    ~header:[ "Walk"; "objs walked/ckpt"; "objs skipped/ckpt"; "avg captree (us)"; "avg STW (us)" ]
     rows
 
 let ablate_frequency () =
@@ -196,6 +223,7 @@ let ablate_overcommit () =
 
 let run () =
   ablate_copy ();
+  ablate_walk ();
   ablate_frequency ();
   ablate_pagetables ();
   ablate_eidetic ();

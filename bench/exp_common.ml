@@ -20,10 +20,16 @@ module Sqlite = Treesls_apps.Sqlite
 module Phoenix = Treesls_apps.Phoenix
 module Kvstore = Treesls_apps.Kvstore
 
-let features ~ckpt ~track ~copy ~hybrid =
-  { State.ckpt_enabled = ckpt; track_dirty = track; copy_on_fault = copy; hybrid }
+let features ?(incr = true) ~ckpt ~track ~copy ~hybrid () =
+  {
+    State.ckpt_enabled = ckpt;
+    track_dirty = track;
+    copy_on_fault = copy;
+    hybrid;
+    incremental_walk = incr;
+  }
 
-let full_features () = features ~ckpt:true ~track:true ~copy:true ~hybrid:true
+let full_features () = features ~ckpt:true ~track:true ~copy:true ~hybrid:true ()
 
 (* Set by main.exe's [--trace FILE] flag: every system booted through this
    module records a trace, and the last one's ring is exported to FILE when

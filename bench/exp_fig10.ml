@@ -11,11 +11,11 @@ open Exp_common
 
 let configs =
   [
-    ("base (no checkpoint)", features ~ckpt:false ~track:false ~copy:false ~hybrid:false);
-    ("+ checkpoint", features ~ckpt:true ~track:false ~copy:false ~hybrid:false);
-    ("+ page fault", features ~ckpt:true ~track:true ~copy:false ~hybrid:false);
-    ("+ page memcpy", features ~ckpt:true ~track:true ~copy:true ~hybrid:false);
-    ("+ hybrid copy", features ~ckpt:true ~track:true ~copy:true ~hybrid:true);
+    ("base (no checkpoint)", features ~ckpt:false ~track:false ~copy:false ~hybrid:false ());
+    ("+ checkpoint", features ~ckpt:true ~track:false ~copy:false ~hybrid:false ());
+    ("+ page fault", features ~ckpt:true ~track:true ~copy:false ~hybrid:false ());
+    ("+ page memcpy", features ~ckpt:true ~track:true ~copy:true ~hybrid:false ());
+    ("+ hybrid copy", features ~ckpt:true ~track:true ~copy:true ~hybrid:true ());
   ]
 
 let workloads = [ W_memcached; W_redis; W_kmeans; W_pca ]

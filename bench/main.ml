@@ -43,6 +43,8 @@ let experiments =
     ("fig13", ("Figure 13: YCSB on Redis", Exp_fig13.run));
     ("fig14", ("Figure 14: RocksDB Prefix_dist", Exp_fig14.run));
     ("ablate", ("Design ablations", Exp_ablate.run));
+    ( "incr_walk",
+      ("Incremental walk: captree vs dirty fraction x tree size", Exp_incr_walk.run) );
     ("smoke", ("Audit smoke: checkpoints + crash/restore under --audit (make ci)", Exp_smoke.run));
   ]
 

@@ -26,6 +26,7 @@ and cap_group = {
   cg_name : string;
   mutable cg_slots : cap option array;
   mutable cg_used : int;
+  mutable cg_gen : int;  (** generation epoch, see {!touch} *)
 }
 
 and thread_state =
@@ -41,6 +42,7 @@ and thread = {
   mutable th_state : thread_state;
   mutable th_prio : int;
   mutable th_cursor : int;  (** scheduling context: remaining budget *)
+  mutable th_gen : int;
 }
 
 and vm_region = {
@@ -50,7 +52,7 @@ and vm_region = {
   vr_writable : bool;
 }
 
-and vmspace = { vs_id : int; mutable vs_regions : vm_region list }
+and vmspace = { vs_id : int; mutable vs_regions : vm_region list; mutable vs_gen : int }
 
 and pmo_kind =
   | Pmo_normal
@@ -61,6 +63,7 @@ and pmo = {
   pmo_pages : int;  (** size in pages *)
   pmo_kind : pmo_kind;
   pmo_radix : Treesls_nvm.Paddr.t Radix.t;  (** page number -> physical page *)
+  mutable pmo_gen : int;
 }
 
 and ipc_conn = {
@@ -68,18 +71,39 @@ and ipc_conn = {
   mutable ic_server : thread option;
   mutable ic_shared : pmo option;
   mutable ic_calls : int;  (** served call count (part of connection state) *)
+  mutable ic_gen : int;
 }
 
 and notification = {
   nt_id : int;
   mutable nt_count : int;
   mutable nt_waiters : int list;  (** blocked thread ids, FIFO *)
+  mutable nt_gen : int;
 }
 
-and irq_notification = { irq_id : int; irq_line : int; mutable irq_pending : int }
+and irq_notification = {
+  irq_id : int;
+  irq_line : int;
+  mutable irq_pending : int;
+  mutable irq_gen : int;
+}
 
 val id : t -> int
 val kind : t -> kind
+
+(** {2 Generation epochs (incremental checkpoint walk)} *)
+
+val touch : t -> unit
+(** Bump the object's generation.  Must be called after every mutation of
+    checkpointable state; the provided helpers ({!install}, {!revoke}, the
+    kernel and IPC mutators) do so themselves — call it directly only when
+    assigning record fields by hand. *)
+
+val gen : t -> int
+(** Current generation.  Constructors start at 1; the checkpoint walk
+    records the generation it snapshotted and skips the object while the
+    two still match. *)
+
 val kind_name : kind -> string
 val all_kinds : kind list
 

@@ -16,16 +16,79 @@ let now st = Clock.now (Kernel.clock st.State.kernel)
 let archive_page st pmo pno paddr =
   match st.State.page_archive_hook with Some h -> h pmo pno paddr | None -> ()
 
-(* vpn -> (pmo, page index) within a VM space *)
+(* vpn -> (pmo, page index) within a VM space.
+
+   Regions are kept in an interval index sorted by start vpn so a lookup is
+   a binary search instead of a scan of the whole region list (the protect
+   pass resolves every dirty vpn, so this is on the STW path).  The index
+   is cached per VM space and rebuilt whenever the region list changes —
+   detected by physical identity of the (immutable-once-replaced) list, so
+   a stale hit is impossible.  When regions overlap, the original code
+   returned the first match in list order; the index preserves that by
+   remembering each region's list position and scanning left from the
+   binary-search point while the running max end vpn still covers the
+   query. *)
+type region_index = {
+  ri_list : Kobj.vm_region list;  (* identity token for invalidation *)
+  ri_sorted : (Kobj.vm_region * int) array;  (* by vr_vpn, with list position *)
+  ri_max_end : int array;  (* ri_max_end.(i) = max end vpn over ri_sorted.(0..i) *)
+}
+
+let region_cache : (int, region_index) Hashtbl.t = Hashtbl.create 64
+
+let build_region_index vms =
+  let arr = Array.of_list (List.mapi (fun i r -> (r, i)) vms.Kobj.vs_regions) in
+  Array.sort
+    (fun ((a : Kobj.vm_region), ia) (b, ib) ->
+      match compare a.Kobj.vr_vpn b.Kobj.vr_vpn with 0 -> compare ia ib | c -> c)
+    arr;
+  let max_end = Array.make (Array.length arr) 0 in
+  let run = ref 0 in
+  Array.iteri
+    (fun i ((r : Kobj.vm_region), _) ->
+      run := max !run (r.Kobj.vr_vpn + r.Kobj.vr_pages);
+      max_end.(i) <- !run)
+    arr;
+  { ri_list = vms.Kobj.vs_regions; ri_sorted = arr; ri_max_end = max_end }
+
+let region_index vms =
+  match Hashtbl.find_opt region_cache vms.Kobj.vs_id with
+  | Some idx when idx.ri_list == vms.Kobj.vs_regions -> idx
+  | Some _ | None ->
+    let idx = build_region_index vms in
+    Hashtbl.replace region_cache vms.Kobj.vs_id idx;
+    idx
+
 let resolve_region vms vpn =
-  let rec find = function
-    | [] -> None
-    | r :: rest ->
-      if vpn >= r.Kobj.vr_vpn && vpn < r.Kobj.vr_vpn + r.Kobj.vr_pages then
-        Some (r.Kobj.vr_pmo, vpn - r.Kobj.vr_vpn)
-      else find rest
-  in
-  find vms.Kobj.vs_regions
+  let idx = region_index vms in
+  let arr = idx.ri_sorted in
+  let n = Array.length arr in
+  (* rightmost entry starting at or before vpn *)
+  let last = ref (-1) in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r, _ = arr.(mid) in
+    if r.Kobj.vr_vpn <= vpn then begin
+      last := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  let best = ref None in
+  let i = ref !last in
+  while !i >= 0 && idx.ri_max_end.(!i) > vpn do
+    let r, pos = arr.(!i) in
+    if vpn < r.Kobj.vr_vpn + r.Kobj.vr_pages then begin
+      match !best with
+      | Some (_, best_pos) when best_pos <= pos -> ()
+      | Some _ | None -> best := Some (r, pos)
+    end;
+    decr i
+  done;
+  match !best with
+  | Some (r, _) -> Some (r.Kobj.vr_pmo, vpn - r.Kobj.vr_vpn)
+  | None -> None
 
 (* Charge the cost of copying one object's own state into its backup. A
    full (first-time) checkpoint additionally pays allocation and structure
@@ -48,6 +111,7 @@ let checkpoint_object st obj ~new_ver =
   let oroot, full = State.oroot_for st obj ~version:new_ver in
   oroot.Oroot.last_seen_ver <- new_ver;
   oroot.Oroot.runtime <- Some obj;
+  oroot.Oroot.saved_gen <- Kobj.gen obj;
   charge_object_copy st obj ~full;
   let snap = Snapshot.take obj in
   Oroot.save oroot ~version:new_ver snap;
@@ -133,9 +197,12 @@ let hybrid_sublist st ~new_ver entries counters =
                 cp.Ckpt_page.b1 <- Some b1;
                 cp.Ckpt_page.b1_ver <- new_ver)
             | Some _ | None ->
-              (* unexpected CPP state: undo the migration *)
+              (* unexpected CPP state: undo the migration and retire the
+                 entry — leaving it live would retry (and fail) the same
+                 migration on every checkpoint *)
               Kernel.remap_page kernel pmo ~pno runtime;
-              Store.free_dram_page store dram);
+              Store.free_dram_page store dram;
+              Active_list.drop st.State.active e);
             (match Radix.get pmo.Kobj.pmo_radix pno with
             | Some p when Paddr.is_dram p ->
               e.Active_list.e_dram <- true;
@@ -175,12 +242,16 @@ let hybrid_sublist st ~new_ver entries counters =
         end)
     entries
 
-let gc_dead_oroots st ~committed =
+(* An ORoot is dead when this walk's traversal did not reach its object.
+   Keyed on the visited set rather than last_seen_ver because the
+   incremental walk leaves the last_seen_ver of skipped (but live)
+   objects stale on purpose. *)
+let gc_dead_oroots st ~visited =
   let kernel = st.State.kernel in
   let store = Kernel.store kernel in
   let dead =
     Hashtbl.fold
-      (fun oid (o : Oroot.t) acc -> if o.Oroot.last_seen_ver < committed then (oid, o) :: acc else acc)
+      (fun oid (o : Oroot.t) acc -> if not (Hashtbl.mem visited oid) then (oid, o) :: acc else acc)
       st.State.oroots []
   in
   List.iter
@@ -221,14 +292,50 @@ let run st =
      First process wins for objects shared across cap groups (e.g. IPC
      connections installed in both ends); everything reachable only from
      the root (boot services' parents, the root group itself) stays
-     "kernel".  Host-time bookkeeping only — no simulated cost. *)
-  let owner = Hashtbl.create 1024 in
-  List.iter
-    (fun (p : Kernel.process) ->
-      Kobj.iter_tree ~root:p.Kernel.cg (fun obj ->
-          let oid = Kobj.id obj in
-          if not (Hashtbl.mem owner oid) then Hashtbl.add owner oid p.Kernel.pname))
-    (Kernel.processes kernel);
+     "kernel".  Host-time bookkeeping only — no simulated cost; cached
+     across checkpoints and invalidated by the kernel's process epoch so
+     the per-process tree walks don't repeat while the process population
+     is unchanged.  Objects created since the cache was built (same
+     processes, new caps) miss the table and are attributed on demand. *)
+  let owner =
+    let epoch = Kernel.procs_epoch kernel in
+    match st.State.owner_cache with
+    | Some o when st.State.owner_cache_epoch = epoch -> o
+    | Some _ | None ->
+      let owner = Hashtbl.create 1024 in
+      List.iter
+        (fun (p : Kernel.process) ->
+          Kobj.iter_tree ~root:p.Kernel.cg (fun obj ->
+              let oid = Kobj.id obj in
+              if not (Hashtbl.mem owner oid) then Hashtbl.add owner oid p.Kernel.pname))
+        (Kernel.processes kernel);
+      st.State.owner_cache <- Some owner;
+      st.State.owner_cache_epoch <- epoch;
+      owner
+  in
+  let owner_of oid =
+    match Hashtbl.find_opt owner oid with
+    | Some name -> name
+    | None ->
+      (* cache built before this object existed: find its process without
+         a full walk, and memoize the answer either way *)
+      let name =
+        let found = ref None in
+        (try
+           List.iter
+             (fun (p : Kernel.process) ->
+               Kobj.iter_tree ~root:p.Kernel.cg (fun obj ->
+                   if Kobj.id obj = oid then begin
+                     found := Some p.Kernel.pname;
+                     raise Exit
+                   end))
+             (Kernel.processes kernel)
+         with Exit -> ());
+        Option.value ~default:"kernel" !found
+      in
+      Hashtbl.add owner oid name;
+      name
+  in
   (* group name -> (ns, objects, per-kind ns) *)
   let per_group : (string, int ref * int ref * (Kobj.kind, int) Hashtbl.t) Hashtbl.t =
     Hashtbl.create 16
@@ -239,35 +346,58 @@ let run st =
       (fun acc p -> acc + Pagetable.dirty_count (Kernel.pagetable kernel p.Kernel.vms))
       0 (Kernel.processes kernel)
   in
+  (* Incremental walk: an object whose generation still matches the one
+     recorded at its last checkpoint has not been mutated, so its backups
+     are already current — skip snapshot/copy/charge entirely.  The
+     traversal itself is host-time only, and the visited set it builds
+     doubles as the liveness epoch: ORoots of unreached objects are the
+     dead ones, so skipped objects need no per-object liveness write. *)
+  let incremental = st.State.features.State.incremental_walk && not st.State.force_full in
+  let visited = Hashtbl.create 512 in
+  let skipped = ref 0 in
   Kobj.iter_tree ~root:(Kernel.root kernel) (fun obj ->
-      let t_obj0 = now st in
-      let full, bytes = checkpoint_object st obj ~new_ver in
-      let dt = now st - t_obj0 in
-      incr objects;
-      if full then incr fulls;
-      snap_bytes := !snap_bytes + bytes;
-      let kind = Kobj.kind obj in
-      Hashtbl.replace per_kind kind (dt + Option.value ~default:0 (Hashtbl.find_opt per_kind kind));
-      let gname = Option.value ~default:"kernel" (Hashtbl.find_opt owner (Kobj.id obj)) in
-      let g_ns, g_objs, g_kinds =
-        match Hashtbl.find_opt per_group gname with
-        | Some g -> g
-        | None ->
-          let g = (ref 0, ref 0, Hashtbl.create 8) in
-          Hashtbl.add per_group gname g;
-          g
+      let oid = Kobj.id obj in
+      Hashtbl.replace visited oid ();
+      let clean =
+        incremental
+        && (match Hashtbl.find_opt st.State.oroots oid with
+           | Some o -> o.Oroot.saved_gen = Kobj.gen obj
+           | None -> false)
       in
-      g_ns := !g_ns + dt;
-      incr g_objs;
-      Hashtbl.replace g_kinds kind (dt + Option.value ~default:0 (Hashtbl.find_opt g_kinds kind));
-      let cost_stats = State.obj_cost st kind in
-      Stats.add (if full then cost_stats.State.full else cost_stats.State.incr) (float_of_int dt));
+      if clean then incr skipped
+      else begin
+        let t_obj0 = now st in
+        let full, bytes = checkpoint_object st obj ~new_ver in
+        let dt = now st - t_obj0 in
+        incr objects;
+        if full then incr fulls;
+        snap_bytes := !snap_bytes + bytes;
+        let kind = Kobj.kind obj in
+        Hashtbl.replace per_kind kind
+          (dt + Option.value ~default:0 (Hashtbl.find_opt per_kind kind));
+        let gname = owner_of oid in
+        let g_ns, g_objs, g_kinds =
+          match Hashtbl.find_opt per_group gname with
+          | Some g -> g
+          | None ->
+            let g = (ref 0, ref 0, Hashtbl.create 8) in
+            Hashtbl.add per_group gname g;
+            g
+        in
+        g_ns := !g_ns + dt;
+        incr g_objs;
+        Hashtbl.replace g_kinds kind (dt + Option.value ~default:0 (Hashtbl.find_opt g_kinds kind));
+        let cost_stats = State.obj_cost st kind in
+        Stats.add (if full then cost_stats.State.full else cost_stats.State.incr) (float_of_int dt)
+      end);
+  st.State.force_full <- false;
   let walk_ns = now st - walk0 in
   Probe.exit walk_tok
     ~args:
       [
         ("objects", string_of_int !objects);
         ("full", string_of_int !fulls);
+        ("skipped", string_of_int !skipped);
         ("snapshot_bytes", string_of_int !snap_bytes);
       ];
   (* step 3: parallel hybrid copy by the other cores *)
@@ -306,7 +436,7 @@ let run st =
   let others0 = now st in
   Global_meta.commit_checkpoint meta;
   st.State.ids_hwm <- Id_gen.current (Kernel.ids kernel);
-  gc_dead_oroots st ~committed:new_ver;
+  gc_dead_oroots st ~visited;
   Store.charge store (Store.cost store).Cost.tlb_shootdown_ns;
   let others_ns = now st - others0 in
   Probe.exit others_tok;
@@ -344,6 +474,7 @@ let run st =
           per_group [];
       objects_walked = !objects;
       full_objects = !fulls;
+      objects_skipped = !skipped;
       pages_protected = protected_before;
       dram_dirty_copied = !dirty_copied;
       migrated_in = !migrated_in;
@@ -354,7 +485,9 @@ let run st =
   in
   Probe.count "ckpt.runs" 1;
   Probe.count "ckpt.objects_walked" !objects;
+  Probe.count "ckpt.objects_skipped" !skipped;
   Probe.count "ckpt.full_objects" !fulls;
+  Probe.gauge "ckpt.dirty_fraction_pct" (100 * !objects / max 1 (!objects + !skipped));
   Probe.count "ckpt.pages.protected" protected_before;
   Probe.count "ckpt.pages.dirty_copied" !dirty_copied;
   Probe.count "ckpt.pages.migrated_in" !migrated_in;

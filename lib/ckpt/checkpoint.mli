@@ -16,3 +16,9 @@
 
 val run : State.t -> Report.t
 (** Take one whole-system checkpoint and return its measurements. *)
+
+val resolve_region : Treesls_cap.Kobj.vmspace -> int -> (Treesls_cap.Kobj.pmo * int) option
+(** [resolve_region vms vpn] is the (pmo, page index) backing [vpn], via a
+    cached interval index over the VM space's regions; when regions
+    overlap, the first one in region-list order wins (exposed for unit
+    tests). *)

@@ -29,8 +29,11 @@ let on_commit t () =
     let objects = Hashtbl.create 256 in
     Hashtbl.iter
       (fun oid (oroot : Oroot.t) ->
-        match Oroot.at oroot ~version with
-        | Some snap -> Hashtbl.replace objects oid snap
+        (* newest-at-or-before rather than exact: the incremental walk does
+           not re-snapshot clean objects, whose state at [version] is their
+           last saved snapshot *)
+        match Oroot.latest_le oroot ~version with
+        | Some (_, snap) -> Hashtbl.replace objects oid snap
         | None -> ())
       st.State.oroots;
     let record = { objects; pages = t.pending_pages } in

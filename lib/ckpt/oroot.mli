@@ -19,6 +19,11 @@ type t = {
           left the tree *)
   mutable slot_a : (int * Snapshot.t) option;
   mutable slot_b : (int * Snapshot.t) option;
+  mutable saved_gen : int;
+      (** {!Treesls_cap.Kobj.gen} of the runtime object when it was last
+          checkpointed; the incremental walk skips the object while the two
+          match.  0 (never equal to a live generation, which starts at 1)
+          until the first checkpoint. *)
   pages : Ckpt_page.t option;  (** Some for normal PMOs *)
 }
 

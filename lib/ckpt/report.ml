@@ -15,6 +15,7 @@ type t = {
   per_group : (string * group_cost) list;
   objects_walked : int;
   full_objects : int;
+  objects_skipped : int;
   pages_protected : int;
   dram_dirty_copied : int;
   migrated_in : int;
@@ -35,6 +36,7 @@ let zero =
     per_group = [];
     objects_walked = 0;
     full_objects = 0;
+    objects_skipped = 0;
     pages_protected = 0;
     dram_dirty_copied = 0;
     migrated_in = 0;
@@ -88,15 +90,15 @@ let folded_lines t =
 let pp ppf t =
   Format.fprintf ppf
     "ckpt v%d: stw=%.1fus (ipi=%.1f captree=%.1f others=%.1f | hybrid=%.1f) objs=%d(full %d) \
-     ro=%d sc=%d mig=+%d/-%d cached=%d snap=%dB"
+     skip=%d ro=%d sc=%d mig=+%d/-%d cached=%d snap=%dB"
     t.version
     (float_of_int t.stw_ns /. 1e3)
     (float_of_int t.ipi_ns /. 1e3)
     (float_of_int t.captree_ns /. 1e3)
     (float_of_int t.others_ns /. 1e3)
     (float_of_int t.hybrid_ns /. 1e3)
-    t.objects_walked t.full_objects t.pages_protected t.dram_dirty_copied t.migrated_in
-    t.migrated_out t.cached_pages t.snapshot_bytes;
+    t.objects_walked t.full_objects t.objects_skipped t.pages_protected t.dram_dirty_copied
+    t.migrated_in t.migrated_out t.cached_pages t.snapshot_bytes;
   (match
      List.sort
        (fun (a, _) (b, _) ->

@@ -19,6 +19,7 @@ type t = {
   per_group : (string * group_cost) list;  (** cap-tree time by owning subtree *)
   objects_walked : int;
   full_objects : int;  (** objects checkpointed for the first time *)
+  objects_skipped : int;  (** clean objects the incremental walk skipped *)
   pages_protected : int;  (** dirty pages marked read-only *)
   dram_dirty_copied : int;  (** dirty DRAM pages stop-and-copied *)
   migrated_in : int;  (** pages migrated NVM -> DRAM *)

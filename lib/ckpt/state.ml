@@ -7,6 +7,7 @@ type features = {
   mutable track_dirty : bool;
   mutable copy_on_fault : bool;
   mutable hybrid : bool;
+  mutable incremental_walk : bool;
 }
 
 type obj_cost = { full : Stats.t; incr : Stats.t; restore : Stats.t }
@@ -26,10 +27,19 @@ type t = {
   mutable interval_ns : int option;
   mutable next_ckpt_at : int;
   mutable last_report : Report.t option;
+  mutable force_full : bool;
+  mutable owner_cache : (int, string) Hashtbl.t option;
+  mutable owner_cache_epoch : int;
 }
 
 let default_features () =
-  { ckpt_enabled = true; track_dirty = true; copy_on_fault = true; hybrid = true }
+  {
+    ckpt_enabled = true;
+    track_dirty = true;
+    copy_on_fault = true;
+    hybrid = true;
+    incremental_walk = true;
+  }
 
 let create kernel active_cfg features =
   {
@@ -47,6 +57,9 @@ let create kernel active_cfg features =
     interval_ns = None;
     next_ckpt_at = 0;
     last_report = None;
+    force_full = true;
+    owner_cache = None;
+    owner_cache_epoch = -1;
   }
 
 let oroot_for t obj ~version =
@@ -91,7 +104,12 @@ let note_crash t =
   t.crashed_root <- Some (Kernel.root t.kernel);
   Active_list.clear t.active;
   Hashtbl.reset t.pending_fresh;
-  t.ckpt_callbacks <- []
+  t.ckpt_callbacks <- [];
+  (* restored objects carry fresh generations that could collide with the
+     pre-crash saved_gen values, so the first post-restore walk is eager *)
+  t.force_full <- true;
+  t.owner_cache <- None;
+  t.owner_cache_epoch <- -1
 
 let checkpoint_bytes t =
   let page_size = (Kernel.cost t.kernel).Treesls_sim.Cost.page_size in

@@ -14,6 +14,8 @@ type features = {
   mutable track_dirty : bool;  (** mark dirty pages read-only at checkpoint *)
   mutable copy_on_fault : bool;  (** copy the pre-image in the fault handler *)
   mutable hybrid : bool;  (** hybrid copy: hot-page DRAM cache + stop-and-copy *)
+  mutable incremental_walk : bool;
+      (** skip clean objects (generation unchanged) during the STW walk *)
 }
 
 type obj_cost = {
@@ -44,6 +46,16 @@ type t = {
   mutable interval_ns : int option;
   mutable next_ckpt_at : int;
   mutable last_report : Report.t option;
+  mutable force_full : bool;
+      (** eager-walk override for the next checkpoint: set at creation and
+          by {!note_crash}, cleared by [Checkpoint.run] — the first walk
+          after boot or restore must visit every object to (re)seed the
+          per-object saved generations *)
+  mutable owner_cache : (int, string) Hashtbl.t option;
+      (** volatile: object id -> owning process name, for report
+          attribution; valid only while [owner_cache_epoch] matches
+          [Kernel.procs_epoch] *)
+  mutable owner_cache_epoch : int;
 }
 
 val default_features : unit -> features

@@ -41,6 +41,7 @@ let call k conn payload =
     Treesls_obs.Probe.count "ipc.calls" 1;
     Treesls_obs.Probe.req_ipc ();
     conn.Kobj.ic_calls <- conn.Kobj.ic_calls + 1;
+    Kobj.touch (Kobj.Ipc_conn conn);
     let reply = h payload in
     Treesls_obs.Probe.req_handled ();
     Treesls_obs.Probe.exit tok;
@@ -48,7 +49,7 @@ let call k conn payload =
 
 let notify k n =
   Kernel.syscall k ~work_ns:0;
-  match n.Kobj.nt_waiters with
+  (match n.Kobj.nt_waiters with
   | [] -> n.Kobj.nt_count <- n.Kobj.nt_count + 1
   | tid :: rest ->
     n.Kobj.nt_waiters <- rest;
@@ -59,20 +60,25 @@ let notify k n =
           (fun th ->
             if th.Kobj.th_id = tid then begin
               th.Kobj.th_state <- Kobj.Ready;
+              Kobj.touch (Kobj.Thread th);
               Sched.enqueue (Kernel.sched k) th
             end)
           p.Kernel.threads)
-      (Kernel.processes k)
+      (Kernel.processes k));
+  Kobj.touch (Kobj.Notification n)
 
 let wait k n th =
   Kernel.syscall k ~work_ns:0;
   if n.Kobj.nt_count > 0 then begin
     n.Kobj.nt_count <- n.Kobj.nt_count - 1;
+    Kobj.touch (Kobj.Notification n);
     true
   end
   else begin
     th.Kobj.th_state <- Kobj.Blocked_notif n.Kobj.nt_id;
+    Kobj.touch (Kobj.Thread th);
     n.Kobj.nt_waiters <- n.Kobj.nt_waiters @ [ th.Kobj.th_id ];
+    Kobj.touch (Kobj.Notification n);
     false
   end
 

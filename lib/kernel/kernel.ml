@@ -40,6 +40,7 @@ type t = {
   stats : stats;
   ipc_handlers : (int, Bytes.t -> Bytes.t) Hashtbl.t;
   mutable alive : bool;
+  mutable procs_epoch : int;  (** bumped on process create/exit *)
 }
 
 let store t = t.store
@@ -52,6 +53,7 @@ let sched t = t.sched
 let stats t = t.stats
 let ipc_handlers t = t.ipc_handlers
 let processes t = t.procs
+let procs_epoch t = t.procs_epoch
 let find_process t ~name = List.find_opt (fun p -> p.pname = name) t.procs
 
 let pagetable t vms =
@@ -103,6 +105,7 @@ let add_region proc pmo ~writable =
   let vpn = proc.brk_vpn in
   let region = { Kobj.vr_vpn = vpn; vr_pages = pmo.Kobj.pmo_pages; vr_pmo = pmo; vr_writable = writable } in
   proc.vms.Kobj.vs_regions <- proc.vms.Kobj.vs_regions @ [ region ];
+  Kobj.touch (Kobj.Vmspace proc.vms);
   proc.brk_vpn <- vpn + pmo.Kobj.pmo_pages;
   vpn
 
@@ -130,15 +133,21 @@ let create_process t ~name ~threads ~prio =
     ignore (add_thread t proc ~prio)
   done;
   t.procs <- t.procs @ [ proc ];
+  t.procs_epoch <- t.procs_epoch + 1;
   proc
 
 let exit_process t proc =
-  List.iter (fun th -> th.Kobj.th_state <- Kobj.Exited) proc.threads;
+  List.iter
+    (fun th ->
+      th.Kobj.th_state <- Kobj.Exited;
+      Kobj.touch (Kobj.Thread th))
+    proc.threads;
   (* revoke the cap from the root group so the subtree becomes unreachable *)
   Kobj.iter_caps
     (fun slot c -> if Kobj.id c.Kobj.target = proc.pid then Kobj.revoke t.root slot)
     t.root;
   t.procs <- List.filter (fun p -> p.pid <> proc.pid) t.procs;
+  t.procs_epoch <- t.procs_epoch + 1;
   Hashtbl.remove t.pagetables proc.vms.Kobj.vs_id
 
 let grow_heap t proc ~pages =
@@ -160,6 +169,7 @@ let make_eternal_pmo t ~pages =
     let paddr = Store.alloc_page t.store in
     Radix.set pmo.Kobj.pmo_radix i paddr
   done;
+  Kobj.touch (Kobj.Pmo pmo);
   install_obj t.root (Kobj.Pmo pmo) Treesls_cap.Rights.rw;
   pmo
 
@@ -200,23 +210,27 @@ let raise_irq t irq =
           if (not !woken) && th.Kobj.th_state = Kobj.Blocked_notif (-irq.Kobj.irq_id) then begin
             woken := true;
             th.Kobj.th_state <- Kobj.Ready;
+            Kobj.touch (Kobj.Thread th);
             Sched.enqueue t.sched th
           end)
         p.threads)
     t.procs;
-  if !woken then irq.Kobj.irq_pending <- irq.Kobj.irq_pending - 1
+  if !woken then irq.Kobj.irq_pending <- irq.Kobj.irq_pending - 1;
+  Kobj.touch (Kobj.Irq_notification irq)
 
 let wait_irq t irq th =
   t.stats.syscalls <- t.stats.syscalls + 1;
   charge t (cost t).Cost.syscall_ns;
   if irq.Kobj.irq_pending > 0 then begin
     irq.Kobj.irq_pending <- irq.Kobj.irq_pending - 1;
+    Kobj.touch (Kobj.Irq_notification irq);
     true
   end
   else begin
     (* blocked-on-IRQ is encoded as a negative notification id so that it
        survives checkpointing through the same thread-state snapshot *)
     th.Kobj.th_state <- Kobj.Blocked_notif (-irq.Kobj.irq_id);
+    Kobj.touch (Kobj.Thread th);
     false
   end
 
@@ -269,6 +283,9 @@ let ensure_mapped t proc ~vpn ~for_write =
     Probe.count "kernel.faults.cow" 1;
     cow_upgrade region (vpn - region.Kobj.vr_vpn);
     Pagetable.make_writable pt ~vpn;
+    (* the PTE just joined the pagetable's dirty list: the next checkpoint
+       must run the protect pass over this vmspace, so mark it dirty *)
+    Kobj.touch (Kobj.Vmspace proc.vms);
     (* the CoW hook may have migrated the page; reload *)
     (match Pagetable.lookup pt ~vpn with
     | Some p -> p.Pagetable.paddr
@@ -297,6 +314,7 @@ let ensure_mapped t proc ~vpn ~for_write =
         | None -> paddr
       in
       Pagetable.map pt ~vpn ~paddr ~writable:for_write;
+      if for_write then Kobj.touch (Kobj.Vmspace proc.vms);
       rmap_add t region.Kobj.vr_pmo pno pt vpn;
       paddr
     | Some paddr ->
@@ -312,6 +330,7 @@ let ensure_mapped t proc ~vpn ~for_write =
           | None -> paddr
         in
         Pagetable.map pt ~vpn ~paddr ~writable:true;
+        Kobj.touch (Kobj.Vmspace proc.vms);
         rmap_add t region.Kobj.vr_pmo pno pt vpn;
         paddr
       end
@@ -326,8 +345,12 @@ let ensure_mapped t proc ~vpn ~for_write =
       Probe.count "kernel.faults.alloc" 1;
       let paddr = Store.alloc_page t.store in
       Radix.set region.Kobj.vr_pmo.Kobj.pmo_radix pno paddr;
+      (* the fresh page needs a CP record at the next walk; the PMO must
+         not be skipped before its pending-fresh list is drained *)
+      Kobj.touch (Kobj.Pmo region.Kobj.vr_pmo);
       (match t.fresh_hook with Some h -> h region.Kobj.vr_pmo pno | None -> ());
       Pagetable.map pt ~vpn ~paddr ~writable:for_write;
+      if for_write then Kobj.touch (Kobj.Vmspace proc.vms);
       rmap_add t region.Kobj.vr_pmo pno pt vpn;
       paddr)
 
@@ -549,6 +572,7 @@ let rebuild ~store ~ncores ~root ~ids_hwm =
       stats = fresh_stats ();
       ipc_handlers = Hashtbl.create 16;
       alive = true;
+      procs_epoch = 0;
     }
   in
   t.procs <- derive_processes root;
@@ -601,6 +625,7 @@ let boot ?(cost = Cost.default) ?(ncores = 8) ?(nvm_pages = 1 lsl 16) ?(dram_pag
       stats = fresh_stats ();
       ipc_handlers = Hashtbl.create 16;
       alive = true;
+      procs_epoch = 0;
     }
   in
   (* kernel VM space + kernel buffer PMOs, reachable as special nodes *)
@@ -613,6 +638,7 @@ let boot ?(cost = Cost.default) ?(ncores = 8) ?(nvm_pages = 1 lsl 16) ?(dram_pag
       kvms.Kobj.vs_regions
       @ [ { Kobj.vr_vpn = 1024 + i; vr_pages = 1; vr_pmo = buf; vr_writable = true } ]
   done;
+  Kobj.touch (Kobj.Vmspace kvms);
   List.iter
     (fun (name, threads, extra_pmos, notifs, conns) ->
       let proc = create_process t ~name ~threads ~prio:10 in

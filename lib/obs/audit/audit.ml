@@ -90,7 +90,10 @@ let run mgr =
     if oroot.Oroot.last_seen_ver > g then
       add Error "ORoot walked by uncommitted checkpoint v%d (committed v%d)"
         oroot.Oroot.last_seen_ver g
-    else if oroot.Oroot.last_seen_ver < g then
+    else if oroot.Oroot.last_seen_ver < g && not (Hashtbl.mem reachable oid) then
+      (* live objects may legitimately carry a stale last_seen_ver: the
+         incremental walk skips clean objects without refreshing it — only
+         an *unreachable* object with a surviving ORoot was missed by GC *)
       add Warning "stale ORoot missed by GC (last walked v%d, committed v%d)"
         oroot.Oroot.last_seen_ver g;
     let slot name = function

@@ -229,7 +229,7 @@ let diff_sees_added_objects () =
 let report_pp_pinned () =
   check_string "zero report"
     "ckpt v0: stw=0.0us (ipi=0.0 captree=0.0 others=0.0 | hybrid=0.0) objs=0(full 0) \
-     ro=0 sc=0 mig=+0/-0 cached=0 snap=0B"
+     skip=0 ro=0 sc=0 mig=+0/-0 cached=0 snap=0B"
     (Format.asprintf "%a" Report.pp Report.zero);
   let r =
     {
@@ -247,6 +247,7 @@ let report_pp_pinned () =
         ];
       objects_walked = 42;
       full_objects = 5;
+      objects_skipped = 78;
       pages_protected = 17;
       dram_dirty_copied = 3;
       migrated_in = 2;
@@ -259,7 +260,7 @@ let report_pp_pinned () =
      independent of walk order *)
   check_string "full report"
     "ckpt v7: stw=12.4us (ipi=1.0 captree=8.0 others=0.4 | hybrid=9.5) objs=42(full 5) \
-     ro=17 sc=3 mig=+2/-1 cached=64 snap=2048B \
+     skip=78 ro=17 sc=3 mig=+2/-1 cached=64 snap=2048B \
      kinds=[Cap Group=1500ns; PMO=4200ns; Thread=800ns] \
      groups=[memcached=5100ns/20; shell=1200ns/9]"
     (Format.asprintf "%a" Report.pp r);
