@@ -45,6 +45,8 @@ let experiments =
     ("ablate", ("Design ablations", Exp_ablate.run));
     ( "incr_walk",
       ("Incremental walk: captree vs dirty fraction x tree size", Exp_incr_walk.run) );
+    ( "crashtest",
+      ("Crash-schedule exploration: enumerate/inject/recover/verify sweep", Exp_crashtest.run) );
     ("smoke", ("Audit smoke: checkpoints + crash/restore under --audit (make ci)", Exp_smoke.run));
   ]
 

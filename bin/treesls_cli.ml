@@ -15,6 +15,9 @@
      treesls_cli inspect -w sqlite           NVM census by subsystem (--json for JSON)
      treesls_cli doctor -w redis --crash 2   audit the persisted state (slsfsck)
      treesls_cli diff -w sqlite -n 3000      explain the last two checkpoint versions
+     treesls_cli crashtest                   sweep every crash schedule of a smoke trace
+     treesls_cli crashtest --schedule "seed=42;ops=280;commit:57:mid_apply"
+                                             replay one failing schedule and shrink it
 *)
 
 module System = Treesls.System
@@ -464,10 +467,115 @@ let metrics_cmd =
     (Cmd.info "metrics" ~doc:"Run a workload and dump the metrics registry")
     Term.(const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg $ json)
 
+let crashtest_cmd =
+  let module C = Treesls_crashtest.Crashtest in
+  let ops =
+    Arg.(
+      value & opt int C.default_config.C.ops
+      & info [ "n"; "ops" ] ~docv:"N" ~doc:"Length of the workload trace")
+  in
+  let max_commits =
+    Arg.(
+      value
+      & opt int C.default_config.C.commit_cap
+      & info [ "max-commits" ] ~docv:"N"
+          ~doc:"Max journal commit points sampled (each explored in all four phases)")
+  in
+  let schedule =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"REPRO"
+          ~doc:
+            "Replay one schedule instead of sweeping: a reproducer string like \
+             $(b,seed=42;ops=280;commit:57:mid_apply) (or just the point, with --seed/--ops). \
+             A failing schedule is shrunk to its minimal trace prefix.")
+  in
+  let with_bug =
+    Arg.(
+      value & flag
+      & info [ "with-recovery-bug" ]
+          ~doc:
+            "Deliberately re-introduce the Mid_apply journal-replay bug: the sweep must then \
+             report failures (sanity check that the harness can catch real bugs)")
+  in
+  let run seed ops max_commits schedule with_bug json =
+    let cfg =
+      { C.default_config with C.seed; ops; commit_cap = max_commits; recovery_bug = with_bug }
+    in
+    match schedule with
+    | Some s -> (
+      let parsed =
+        match C.parse_reproducer s with
+        | Some (seed, ops, point) -> Some ({ cfg with C.seed; ops }, point)
+        | None -> Option.map (fun p -> (cfg, p)) (C.point_of_string s)
+      in
+      match parsed with
+      | None ->
+        prerr_endline ("cannot parse schedule: " ^ s);
+        exit 1
+      | Some (cfg, point) ->
+        let outcome = C.run_one cfg point in
+        Printf.printf "%s: %s\n%!" (C.reproducer cfg point) (C.outcome_to_string outcome);
+        if not (C.outcome_is_pass outcome) then begin
+          let small = C.shrink cfg point in
+          Printf.printf "shrunk to: %s\n" (C.reproducer small point);
+          exit 2
+        end)
+    | None ->
+      let progress i n =
+        if not json && (i mod 50 = 0 || i = n - 1) then
+          Printf.eprintf "\rschedule %d/%d%!" (i + 1) n
+      in
+      let sweep = C.run ~progress cfg in
+      if not json then prerr_newline ();
+      let n_results = List.length sweep.C.results in
+      if json then begin
+        let failures =
+          sweep.C.failed
+          |> List.map (fun (r : C.result) ->
+                 Printf.sprintf "{\"repro\":%S,\"outcome\":%S}"
+                   (C.reproducer cfg r.C.point)
+                   (C.outcome_to_string r.C.outcome))
+          |> String.concat ","
+        in
+        Printf.printf
+          "{\"commit_points\":%d,\"schedules\":%d,\"commit_schedules\":%d,\"passed\":%d,\"failed\":%d,\"failures\":[%s]}\n"
+          sweep.C.commit_points n_results sweep.C.commit_schedules sweep.C.passed
+          (List.length sweep.C.failed) failures
+      end
+      else begin
+        Printf.printf "trace: seed=%d ops=%d -> %d journal commit points\n" cfg.C.seed cfg.C.ops
+          sweep.C.commit_points;
+        Printf.printf "crash sites:";
+        List.iter (fun (s, n) -> Printf.printf " %s=%d" s n) sweep.C.site_hits;
+        Printf.printf "\nschedules: %d explored (%d commit-point x phase), %d passed, %d failed\n"
+          n_results sweep.C.commit_schedules sweep.C.passed
+          (List.length sweep.C.failed);
+        List.iter
+          (fun (r : C.result) ->
+            Printf.printf "  FAIL %s: %s\n" (C.reproducer cfg r.C.point)
+              (C.outcome_to_string r.C.outcome))
+          sweep.C.failed
+      end;
+      if sweep.C.failed <> [] then exit 2
+  in
+  Cmd.v
+    (Cmd.info "crashtest"
+       ~doc:
+         "Exhaustive crash-schedule exploration: enumerate every crash point of a \
+          deterministic trace (journal commit points x phases, checkpoint/restore crash \
+          sites, DRAM losses), inject each, and verify recovery with the slsfsck audit plus \
+          fingerprint equivalence against a crash-free twin; exits 2 on any failing schedule")
+    Term.(const run $ seed_arg $ ops $ max_commits $ schedule $ with_bug $ json_arg)
+
 let () =
   let doc = "TreeSLS whole-system persistent microkernel simulator" in
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "treesls_cli" ~doc)
-          [ census_cmd; ckpt_cmd; run_cmd; trace_cmd; metrics_cmd; inspect_cmd; doctor_cmd; diff_cmd ]))
+          [
+            census_cmd; ckpt_cmd; run_cmd; trace_cmd; metrics_cmd; inspect_cmd; doctor_cmd;
+            diff_cmd; crashtest_cmd;
+          ]))

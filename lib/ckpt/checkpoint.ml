@@ -5,6 +5,7 @@ module Pagetable = Treesls_kernel.Pagetable
 module Store = Treesls_nvm.Store
 module Paddr = Treesls_nvm.Paddr
 module Global_meta = Treesls_nvm.Global_meta
+module Crash_site = Treesls_nvm.Crash_site
 module Cost = Treesls_sim.Cost
 module Clock = Treesls_sim.Clock
 module Stats = Treesls_util.Stats
@@ -208,7 +209,8 @@ let hybrid_sublist st ~new_ver entries counters =
               e.Active_list.e_dram <- true;
               e.Active_list.e_idle <- 0;
               Kernel.clear_page_dirty kernel pmo ~pno;
-              incr migrated_in
+              incr migrated_in;
+              Crash_site.hit "ckpt.hybrid.migrated_in"
             | Some _ | None -> ())
         end
         else begin
@@ -220,7 +222,8 @@ let hybrid_sublist st ~new_ver entries counters =
             Ckpt_page.stop_and_copy_dram store pages ~runtime ~pno ~new_ver;
             Kernel.clear_page_dirty kernel pmo ~pno;
             e.Active_list.e_idle <- 0;
-            incr dirty_copied
+            incr dirty_copied;
+            Crash_site.hit "ckpt.hybrid.copied"
           end
           else begin
             e.Active_list.e_idle <- e.Active_list.e_idle + 1;
@@ -236,7 +239,8 @@ let hybrid_sublist st ~new_ver entries counters =
               Store.free_dram_page store runtime;
               e.Active_list.e_dram <- false;
               Active_list.drop st.State.active e;
-              incr migrated_out
+              incr migrated_out;
+              Crash_site.hit "ckpt.hybrid.migrated_out"
             end
           end
         end)
@@ -284,6 +288,7 @@ let run st =
   let ipi_ns = Kernel.quiesce kernel in
   Probe.exit quiesce_tok;
   Global_meta.begin_checkpoint meta;
+  Crash_site.hit "ckpt.begin";
   (* step 2: leader walks the capability tree *)
   let walk_tok = Probe.enter "ckpt.captree" in
   let walk0 = now st in
@@ -368,6 +373,7 @@ let run st =
       else begin
         let t_obj0 = now st in
         let full, bytes = checkpoint_object st obj ~new_ver in
+        Crash_site.hit "ckpt.captree.obj";
         let dt = now st - t_obj0 in
         incr objects;
         if full then incr fulls;
@@ -400,6 +406,7 @@ let run st =
         ("skipped", string_of_int !skipped);
         ("snapshot_bytes", string_of_int !snap_bytes);
       ];
+  Crash_site.hit "ckpt.captree.done";
   (* step 3: parallel hybrid copy by the other cores *)
   let dirty_copied = ref 0 and migrated_in = ref 0 and migrated_out = ref 0 in
   let hybrid_ns =
@@ -434,9 +441,18 @@ let run st =
   (* step 4: atomic commit *)
   let others_tok = Probe.enter "ckpt.others" in
   let others0 = now st in
-  Global_meta.commit_checkpoint meta;
+  (* The id high-water mark is part of the staged state: it must be in
+     place BEFORE the version bump, or a crash right after the bump would
+     restore with a stale mark and recycle ids still owned by restored
+     objects. A crash before the bump leaves it too high for the rolled
+     back version, which only costs id-space gaps. *)
   st.State.ids_hwm <- Id_gen.current (Kernel.ids kernel);
+  (* everything is staged; the version bump below is THE atomic commit *)
+  Crash_site.hit "ckpt.publish";
+  Global_meta.commit_checkpoint meta;
+  Crash_site.hit "ckpt.version_bump";
   gc_dead_oroots st ~visited;
+  Crash_site.hit "ckpt.gc_done";
   Store.charge store (Store.cost store).Cost.tlb_shootdown_ns;
   let others_ns = now st - others0 in
   Probe.exit others_tok;

@@ -4,6 +4,7 @@ module Kernel = Treesls_kernel.Kernel
 module Store = Treesls_nvm.Store
 module Paddr = Treesls_nvm.Paddr
 module Global_meta = Treesls_nvm.Global_meta
+module Crash_site = Treesls_nvm.Crash_site
 module Cost = Treesls_sim.Cost
 module Clock = Treesls_sim.Clock
 module Stats = Treesls_util.Stats
@@ -88,6 +89,12 @@ let run_inner st =
   let clock = Store.clock store in
   let t0 = Clock.now clock in
   Store.recover store;
+  (* Crash sites here model a power cut during recovery itself.  Only the
+     read-only prefix carries sites: journal replay and the integrity
+     pre-pass are idempotent, so a second [recover] after a crash at either
+     site simply starts over.  The mutating tail (oroot removal, page
+     frees) is not re-entrant and stays site-free. *)
+  Crash_site.hit "restore.begin";
   let g = Global_meta.version (Store.meta store) in
   if g = 0 then raise No_checkpoint;
   let radixes = tree_radixes st.State.crashed_root in
@@ -100,6 +107,7 @@ let run_inner st =
       | `Use keep when not (Store.verify_page store keep) ->
         raise (Corrupt_backup { pmo_id; pno; paddr = keep })
       | `Use _ | `Drop -> ());
+  Crash_site.hit "restore.precheck";
   (* PMO ids known to the checkpoint manager before any rollback: pages of
      any other PMO found in the crashed tree are in-flight allocations. *)
   let known_pmos = Hashtbl.create 64 in
@@ -158,6 +166,17 @@ let run_inner st =
     (fun (oid, (oroot : Oroot.t), snap) ->
       let t_obj = Clock.now clock in
       charge_restore st snap;
+      (* Roll back walk state staged by an uncommitted checkpoint: snapshot
+         slots and last-seen stamps above [g] must not survive the restore,
+         or a later checkpoint of the same version would find its slot
+         already taken by a stale image. *)
+      (match oroot.Oroot.slot_a with
+      | Some (v, _) when v > g -> oroot.Oroot.slot_a <- None
+      | Some _ | None -> ());
+      (match oroot.Oroot.slot_b with
+      | Some (v, _) when v > g -> oroot.Oroot.slot_b <- None
+      | Some _ | None -> ());
+      if oroot.Oroot.last_seen_ver > g then oroot.Oroot.last_seen_ver <- g;
       let obj =
         match snap with
         | Snapshot.S_cap_group { name; _ } -> Kobj.Cap_group (Kobj.make_cap_group ~id:oid ~name)
@@ -206,9 +225,11 @@ let run_inner st =
                   | Some _ | None -> ());
                   to_remove := pno :: !to_remove)
               cps;
-            List.iter (fun pno -> Ckpt_page.remove cps ~pno) !to_remove;
             (* Runtime pages allocated after the last walk have no CP
-               record at all: roll their frames back too. *)
+               record at all: roll their frames back too. Records of the
+               dropped pnos above are still in place here on purpose —
+               removing them first would make this sweep free the same
+               runtime frame a second time. *)
             (match Hashtbl.find_opt radixes oid with
             | Some radix ->
               Radix.iter
@@ -219,6 +240,7 @@ let run_inner st =
                   end)
                 radix
             | None -> ());
+            List.iter (fun pno -> Ckpt_page.remove cps ~pno) !to_remove;
             Kobj.Pmo pmo)
         | Snapshot.S_ipc { calls; _ } ->
           let c = Kobj.make_ipc_conn ~id:oid in
@@ -234,6 +256,10 @@ let run_inner st =
           irq.Kobj.irq_pending <- pending;
           Kobj.Irq_notification irq
       in
+      (* Point the ORoot's runtime at the restored object: the crashed
+         object is gone, and a later dead-ORoot GC reads frames through
+         this pointer. *)
+      oroot.Oroot.runtime <- Some obj;
       Hashtbl.replace stubs oid obj;
       let dt = Clock.now clock - t_obj in
       Stats.add (State.obj_cost st (Kobj.kind obj)).State.restore (float_of_int dt))
@@ -275,13 +301,85 @@ let run_inner st =
     | Some (Kobj.Cap_group cg) -> cg
     | Some _ | None -> failwith "Restore: root cap group missing from checkpoint"
   in
-  let kernel =
-    Kernel.rebuild ~store ~ncores:(Kernel.ncores crashed_kernel) ~root ~ids_hwm:st.State.ids_hwm
-  in
+  (* Never hand out an id an oroot still owns, even if the persisted
+     high-water mark is older than this checkpoint (pre-fix stores). *)
+  let ids_hwm = Hashtbl.fold (fun oid _ acc -> max acc oid) stubs st.State.ids_hwm in
+  st.State.ids_hwm <- ids_hwm;
+  let kernel = Kernel.rebuild ~store ~ncores:(Kernel.ncores crashed_kernel) ~root ~ids_hwm in
   st.State.kernel <- kernel;
   st.State.crashed_root <- None;
   Active_list.clear st.State.active;
   Hashtbl.reset st.State.pending_fresh;
+  (* Redo the dead-ORoot GC the crash may have interrupted: a crash between
+     the version bump and [gc_dead_oroots] leaves ORoots of objects deleted
+     before [g] in the table, where they would shadow recycled ids and pin
+     their frames forever. Reachability from the restored root is the same
+     test the committed walk would have applied. *)
+  let reachable : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  Kobj.iter_tree ~root (fun obj -> Hashtbl.replace reachable (Kobj.id obj) ());
+  let dead =
+    Hashtbl.fold
+      (fun oid (o : Oroot.t) acc ->
+        if not (Hashtbl.mem reachable oid) then (oid, o) :: acc else acc)
+      st.State.oroots []
+  in
+  List.iter
+    (fun (oid, (o : Oroot.t)) ->
+      (match o.Oroot.pages with
+      | Some pages ->
+        let runtime_of pno =
+          match o.Oroot.runtime with
+          | Some (Kobj.Pmo p) -> Radix.get p.Kobj.pmo_radix pno
+          | Some _ | None -> None
+        in
+        Ckpt_page.free_all store pages ~runtime_of
+      | None -> ());
+      incr dropped;
+      Hashtbl.remove st.State.oroots oid)
+    dead;
+  (* Final allocator reconciliation (paper section 3, step 7: compare the
+     crash-time state with the checkpoint and reclaim): free every live
+     buddy block no surviving subsystem claims. The canonical orphan is a
+     frame whose buddy-alloc transaction committed — so the journal redo
+     preserved the allocation — but which the crash cut down before any
+     radix or backup slot ever referenced it. *)
+  let claimed : (int, unit) Hashtbl.t = Hashtbl.create 512 in
+  let claim p = if Paddr.is_nvm p then Hashtbl.replace claimed p.Paddr.idx () in
+  List.iter
+    (fun off -> Hashtbl.replace claimed off ())
+    (Treesls_nvm.Slab.slab_pages (Store.slab store));
+  Kobj.iter_tree ~root (fun obj ->
+      match obj with
+      | Kobj.Pmo p -> Radix.iter (fun _ paddr -> claim paddr) p.Kobj.pmo_radix
+      | Kobj.Cap_group _ | Kobj.Thread _ | Kobj.Vmspace _ | Kobj.Ipc_conn _ | Kobj.Notification _
+      | Kobj.Irq_notification _ -> ());
+  Hashtbl.iter
+    (fun _ (o : Oroot.t) ->
+      match o.Oroot.pages with
+      | None -> ()
+      | Some cps ->
+        Ckpt_page.iter
+          (fun _ cp ->
+            (match cp.Ckpt_page.b1 with Some p -> claim p | None -> ());
+            match cp.Ckpt_page.b2 with Some p -> claim p | None -> ())
+          cps)
+    st.State.oroots;
+  let buddy = Store.buddy store in
+  let orphans = ref [] in
+  Treesls_nvm.Buddy.iter_live buddy (fun ~offset ~order ->
+      let any = ref false in
+      for i = offset to offset + (1 lsl order) - 1 do
+        if Hashtbl.mem claimed i then any := true
+      done;
+      if not !any then orphans := (offset, order) :: !orphans);
+  List.iter
+    (fun (offset, order) ->
+      for i = offset + 1 to offset + (1 lsl order) - 1 do
+        Store.unseal_page store (Paddr.nvm i)
+      done;
+      Store.free_page store (Paddr.nvm offset);
+      pages_dropped := !pages_dropped + (1 lsl order))
+    !orphans;
   {
     restored_objects = List.length !live;
     dropped_objects = !dropped;

@@ -1,0 +1,433 @@
+module System = Treesls.System
+module Kernel = Treesls_kernel.Kernel
+module Ipc = Treesls_kernel.Ipc
+module Kobj = Treesls_cap.Kobj
+module Radix = Treesls_cap.Radix
+module Store = Treesls_nvm.Store
+module Warea = Treesls_nvm.Warea
+module Crash_site = Treesls_nvm.Crash_site
+module Snapshot = Treesls_ckpt.Snapshot
+module Audit = Treesls_audit.Audit
+module Probe = Treesls_obs.Probe
+module Rng = Treesls_util.Rng
+
+(* ---- deterministic workload trace ------------------------------------ *)
+
+type op =
+  | Notify of int
+  | Wait of int
+  | Touch of int
+  | Write of int
+  | Spawn
+  | Exit of int
+  | Grow
+  | Ckpt
+
+let gen_trace ~seed ~ops =
+  let rng = Rng.create (Int64.of_int seed) in
+  List.init ops (fun _ ->
+      (* Biased towards allocator churn (Spawn/Exit/Grow): each of those
+         runs buddy-alloc/free journal transactions, and journal commit
+         points are the densest crash-schedule axis. *)
+      match Rng.int rng 16 with
+      | 0 | 1 -> Notify (Rng.int rng 1000)
+      | 2 | 3 -> Wait (Rng.int rng 1000)
+      | 4 | 5 | 6 -> Touch (Rng.int rng 1000)
+      | 7 | 8 -> Write (Rng.int rng 1000)
+      | 9 | 10 -> Spawn
+      | 11 | 12 -> Exit (Rng.int rng 1000)
+      | 13 | 14 -> Grow
+      | _ -> Ckpt)
+
+exception Stop
+
+(* Replay [ops] on a freshly booted [sys] (after its baseline checkpoint).
+   [on_op i] runs after op [i] (0-based) completes — the hook the explorer
+   uses to stop early (DRAM-loss crashes, twin replay).  An armed crash
+   raising {!Warea.Crashed} mid-op escapes to the caller with the driver
+   state simply abandoned, as a real power cut would leave it. *)
+let replay sys ops ~on_op =
+  let k () = System.kernel sys in
+  let base = Kernel.create_process (k ()) ~name:"driver" ~threads:1 ~prio:5 in
+  let heap0 = Kernel.grow_heap (k ()) base ~pages:4 in
+  let heap_pages = ref 4 in
+  let psz = (Kernel.cost (k ())).Treesls_sim.Cost.page_size in
+  let notifs = ref [| Kernel.create_notification (k ()) base |] in
+  let procs = ref [] in
+  let spawned = ref 0 in
+  List.iteri
+    (fun idx op ->
+      (match op with
+      | Notify i -> Ipc.notify (k ()) !notifs.(i mod Array.length !notifs)
+      | Wait i ->
+        (* only consume pending signals — blocking the driver's single
+           thread would wedge the trace *)
+        let n = !notifs.(i mod Array.length !notifs) in
+        if n.Kobj.nt_count > 0 then ignore (Ipc.wait (k ()) n (List.hd base.Kernel.threads))
+      | Touch i -> Kernel.touch_write (k ()) base ~vpn:(heap0 + (i mod !heap_pages))
+      | Write i ->
+        Kernel.write_bytes (k ()) base
+          ~vaddr:(((heap0 + (i mod !heap_pages)) * psz) + 64)
+          (Bytes.of_string (Printf.sprintf "w%06d" i))
+      | Spawn ->
+        incr spawned;
+        let p =
+          Kernel.create_process (k ()) ~name:(Printf.sprintf "w%d" !spawned) ~threads:1 ~prio:5
+        in
+        notifs := Array.append !notifs [| Kernel.create_notification (k ()) p |];
+        procs := !procs @ [ p ]
+      | Exit i -> (
+        match !procs with
+        | [] -> ()
+        | ps ->
+          let j = i mod List.length ps in
+          Kernel.exit_process (k ()) (List.nth ps j);
+          procs := List.filteri (fun l _ -> l <> j) ps)
+      | Grow ->
+        let v = Kernel.grow_heap (k ()) base ~pages:2 in
+        heap_pages := !heap_pages + 2;
+        Kernel.touch_write (k ()) base ~vpn:v
+      | Ckpt -> ignore (System.checkpoint sys));
+      on_op idx)
+    ops
+
+(* ---- state fingerprint ------------------------------------------------ *)
+
+(* Every reachable object's snapshot plus the byte contents of every
+   normal-PMO page, sorted by object id: two systems with equal
+   fingerprints are indistinguishable to applications. *)
+type fingerprint = (int * Snapshot.t * (int * string) list) list
+
+let fingerprint sys : fingerprint =
+  let k = System.kernel sys in
+  let store = System.store sys in
+  let objs = ref [] in
+  Kobj.iter_tree ~root:(Kernel.root k) (fun obj ->
+      let pages =
+        match obj with
+        | Kobj.Pmo p when p.Kobj.pmo_kind = Kobj.Pmo_normal ->
+          List.sort compare
+            (Radix.fold
+               (fun pno paddr acc -> (pno, Bytes.to_string (Store.page_bytes store paddr)) :: acc)
+               p.Kobj.pmo_radix [])
+        | Kobj.Pmo _ | Kobj.Cap_group _ | Kobj.Thread _ | Kobj.Vmspace _ | Kobj.Ipc_conn _
+        | Kobj.Notification _ | Kobj.Irq_notification _ -> []
+      in
+      objs := (Kobj.id obj, Snapshot.take obj, pages) :: !objs);
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) !objs
+
+(* ---- schedules -------------------------------------------------------- *)
+
+type point =
+  | Commit of int * Warea.crash_phase  (* journal commit point x phase *)
+  | Site of string * int  (* nth hit of a named ckpt crash site *)
+  | Restore_site of string * int  (* crash at op k, then crash again at site during recovery *)
+  | Op_crash of int  (* DRAM loss after op k *)
+
+let point_to_string = function
+  | Commit (p, ph) -> Printf.sprintf "commit:%d:%s" p (Warea.phase_name ph)
+  | Site (s, n) -> Printf.sprintf "site:%s:%d" s n
+  | Restore_site (s, k) -> Printf.sprintf "restore:%s:%d" s k
+  | Op_crash k -> Printf.sprintf "op:%d" k
+
+let point_of_string s =
+  match String.split_on_char ':' s with
+  | [ "commit"; p; ph ] -> (
+    match (int_of_string_opt p, Warea.phase_of_string ph) with
+    | Some p, Some ph -> Some (Commit (p, ph))
+    | _ -> None)
+  | [ "site"; site; n ] -> Option.map (fun n -> Site (site, n)) (int_of_string_opt n)
+  | [ "restore"; site; k ] -> Option.map (fun k -> Restore_site (site, k)) (int_of_string_opt k)
+  | [ "op"; k ] -> Option.map (fun k -> Op_crash k) (int_of_string_opt k)
+  | _ -> None
+
+type outcome =
+  | Passed
+  | Did_not_fire  (* determinism failure: numbering diverged between runs *)
+  | Audit_failed of string
+  | Fingerprint_mismatch of int  (* recovered version *)
+  | Recovery_failed of string
+  | Liveness_failed of string
+
+let outcome_is_pass = function Passed -> true | _ -> false
+
+let outcome_to_string = function
+  | Passed -> "passed"
+  | Did_not_fire -> "did-not-fire"
+  | Audit_failed v -> "audit: " ^ v
+  | Fingerprint_mismatch g -> Printf.sprintf "fingerprint mismatch vs twin @v%d" g
+  | Recovery_failed e -> "recovery: " ^ e
+  | Liveness_failed e -> "liveness: " ^ e
+
+type config = {
+  seed : int;
+  ops : int;
+  phases : Warea.crash_phase list;
+  include_sites : bool;
+  include_op_crashes : bool;
+  commit_cap : int;  (* max commit points sampled (x |phases| schedules) *)
+  per_site_cap : int;  (* max hits sampled per site *)
+  op_cap : int;  (* max DRAM-loss (and per-restore-site) op indices *)
+  recovery_bug : bool;  (* deliberately break journal replay (must be caught) *)
+}
+
+let default_config =
+  {
+    seed = 42;
+    ops = 280;
+    phases = Warea.all_phases;
+    include_sites = true;
+    include_op_crashes = true;
+    commit_cap = 400;
+    per_site_cap = 8;
+    op_cap = 12;
+    recovery_bug = false;
+  }
+
+let reproducer cfg p = Printf.sprintf "seed=%d;ops=%d;%s" cfg.seed cfg.ops (point_to_string p)
+
+let parse_reproducer s =
+  let kv key p =
+    let pre = key ^ "=" in
+    let n = String.length pre in
+    if String.length p > n && String.sub p 0 n = pre then
+      int_of_string_opt (String.sub p n (String.length p - n))
+    else None
+  in
+  match String.split_on_char ';' s with
+  | [ a; b; pt ] -> (
+    match (kv "seed" a, kv "ops" b, point_of_string pt) with
+    | Some seed, Some ops, Some point -> Some (seed, ops, point)
+    | _ -> None)
+  | _ -> None
+
+type result = { point : point; outcome : outcome }
+
+type sweep = {
+  config : config;
+  commit_points : int;  (* journal commit points enumerated in the trace window *)
+  site_hits : (string * int) list;
+  results : result list;
+  commit_schedules : int;
+  passed : int;
+  failed : result list;
+}
+
+(* Evenly sample at most [k] elements of [lst] (always keeps first/last). *)
+let sample k lst =
+  let n = List.length lst in
+  if n <= k || k <= 0 then lst
+  else if k = 1 then [ List.hd lst ]
+  else
+    let arr = Array.of_list lst in
+    List.init k (fun i -> arr.(i * (n - 1) / (k - 1)))
+
+(* ---- enumeration ------------------------------------------------------ *)
+
+type plan = {
+  p_ops : op list;
+  first_point : int;
+  last_point : int;
+  site_hits : (string * int) list;
+}
+
+(* One instrumented run of the trace: record the commit-point window and
+   how often each named crash site fires.  Nothing is injected. *)
+let enumerate cfg =
+  Crash_site.reset ();
+  let ops = gen_trace ~seed:cfg.seed ~ops:cfg.ops in
+  let sys = System.boot () in
+  ignore (System.checkpoint sys);
+  let w = Store.warea (System.store sys) in
+  let first_point = Warea.commit_points w in
+  Crash_site.record ();
+  replay sys ops ~on_op:(fun _ -> ());
+  (* one final checkpoint so the tail of the trace is also covered by
+     checkpoint crash sites *)
+  ignore (System.checkpoint sys);
+  let last_point = Warea.commit_points w in
+  let site_hits = Crash_site.counts () in
+  Crash_site.reset ();
+  { p_ops = ops; first_point; last_point; site_hits }
+
+let schedules_of_plan cfg plan =
+  let commits =
+    List.init (plan.last_point - plan.first_point) (fun i -> plan.first_point + 1 + i)
+    |> sample cfg.commit_cap
+    |> List.concat_map (fun p -> List.map (fun ph -> Commit (p, ph)) cfg.phases)
+  in
+  let op_indices = sample cfg.op_cap (List.init (List.length plan.p_ops) Fun.id) in
+  let sites =
+    if not cfg.include_sites then []
+    else
+      List.concat_map
+        (fun (site, n) ->
+          List.init n (fun i -> i + 1) |> sample cfg.per_site_cap
+          |> List.map (fun h -> Site (site, h)))
+        plan.site_hits
+      @ List.concat_map
+          (fun site -> List.map (fun k -> Restore_site (site, k)) op_indices)
+          [ "restore.begin"; "restore.precheck" ]
+  in
+  let op_crashes = if cfg.include_op_crashes then List.map (fun k -> Op_crash k) op_indices else [] in
+  commits @ sites @ op_crashes
+
+(* ---- twin oracle ------------------------------------------------------ *)
+
+(* The crash-free twin for recovered version [g]: replay the same trace,
+   stop as soon as version [g] has committed, then crash+recover — the
+   recovery normalises runtime-only state (thread run states, page
+   placement) exactly as it did for the victim, so the fingerprints are
+   comparable.  Cached per version: the whole sweep shares one twin per
+   commit version. *)
+let twin_fingerprint cache cfg g =
+  match Hashtbl.find_opt cache g with
+  | Some fp -> fp
+  | None ->
+    Crash_site.reset ();
+    let ops = gen_trace ~seed:cfg.seed ~ops:cfg.ops in
+    let sys = System.boot () in
+    ignore (System.checkpoint sys);
+    (try
+       if System.version sys < g then begin
+         replay sys ops ~on_op:(fun _ -> if System.version sys >= g then raise Stop);
+         (* trace exhausted below g: the victim's g came from the final
+            enumeration checkpoint *)
+         if System.version sys < g then ignore (System.checkpoint sys)
+       end
+     with Stop -> ());
+    ignore (System.crash_and_recover sys);
+    let fp = fingerprint sys in
+    Hashtbl.add cache g fp;
+    fp
+
+(* ---- injection -------------------------------------------------------- *)
+
+(* Post-recovery liveness: the recovered system must still take work.
+   Returns an error description, or None. *)
+let liveness_check sys =
+  try
+    let k = System.kernel sys in
+    let p = Kernel.create_process k ~name:"post-crash" ~threads:1 ~prio:5 in
+    let v = Kernel.grow_heap k p ~pages:2 in
+    Kernel.touch_write k p ~vpn:v;
+    Kernel.touch_write k p ~vpn:(v + 1);
+    ignore (System.checkpoint sys);
+    let rep = System.audit sys in
+    if Audit.errors rep > 0 then Some (Printf.sprintf "%d audit errors after new work" (Audit.errors rep))
+    else None
+  with e -> Some (Printexc.to_string e)
+
+(* Run ONE schedule end to end: boot, arm, replay until the crash fires,
+   power-cut, recover, verify (audit + twin fingerprint + liveness). *)
+let run_one ?(twins = Hashtbl.create 8) cfg point =
+  Crash_site.reset ();
+  let ops = gen_trace ~seed:cfg.seed ~ops:cfg.ops in
+  let sys = System.boot () in
+  ignore (System.checkpoint sys);
+  let w = Store.warea (System.store sys) in
+  if cfg.recovery_bug then Warea.set_recovery_bug w true;
+  (match point with
+  | Commit (p, ph) -> Warea.set_crash_schedule w (Some (p, ph))
+  | Site (s, n) -> Crash_site.arm ~site:s ~nth:n
+  | Restore_site _ | Op_crash _ -> ());
+  let fired = ref false in
+  let stop_at = match point with Restore_site (_, k) | Op_crash k -> Some k | _ -> None in
+  (try
+     replay sys ops ~on_op:(fun i ->
+         match stop_at with Some k when i = k -> raise Stop | _ -> ());
+     (* cover the trace tail, mirroring the enumeration run *)
+     ignore (System.checkpoint sys)
+   with
+  | Warea.Crashed _ -> fired := true
+  | Stop -> fired := true);
+  (* Disarm leftovers: recovery must not re-fire a stale plan. *)
+  Warea.set_crash_schedule w None;
+  Crash_site.reset ();
+  let outcome =
+    if not !fired then Did_not_fire
+    else begin
+      System.crash sys;
+      (* crash-during-recovery schedules arm their site only now *)
+      (match point with Restore_site (s, _) -> Crash_site.arm ~site:s ~nth:1 | _ -> ());
+      let recovered =
+        match System.recover sys with
+        | _ -> Ok ()
+        | exception Warea.Crashed _ when (match point with Restore_site _ -> true | _ -> false) ->
+          (* the second power cut, mid-recovery: clean up and just retry *)
+          Crash_site.reset ();
+          (match System.recover sys with
+          | _ -> Ok ()
+          | exception e -> Error ("retry: " ^ Printexc.to_string e))
+        | exception e -> Error (Printexc.to_string e)
+      in
+      Crash_site.reset ();
+      match recovered with
+      | Error e -> Recovery_failed e
+      | Ok () -> (
+        let rep = System.audit sys in
+        if Audit.errors rep > 0 then
+          Audit_failed (Printf.sprintf "%d errors" (Audit.errors rep))
+        else
+          let g = System.version sys in
+          let fp = fingerprint sys in
+          if fp <> twin_fingerprint twins cfg g then Fingerprint_mismatch g
+          else match liveness_check sys with Some e -> Liveness_failed e | None -> Passed)
+    end
+  in
+  Warea.set_recovery_bug w false;
+  outcome
+
+(* ---- the sweep -------------------------------------------------------- *)
+
+let run ?(progress = fun _ _ -> ()) cfg =
+  let plan = enumerate cfg in
+  let schedules = schedules_of_plan cfg plan in
+  let twins = Hashtbl.create 16 in
+  let total = List.length schedules in
+  let results =
+    List.mapi
+      (fun i point ->
+        progress i total;
+        let outcome = run_one ~twins cfg point in
+        Probe.count "crashtest.schedules" 1;
+        if not (outcome_is_pass outcome) then begin
+          Probe.count "crashtest.failed" 1;
+          Probe.instant "crashtest.fail"
+            ~args:[ ("repro", reproducer cfg point); ("outcome", outcome_to_string outcome) ]
+        end;
+        { point; outcome })
+      schedules
+  in
+  let failed = List.filter (fun r -> not (outcome_is_pass r.outcome)) results in
+  {
+    config = cfg;
+    commit_points = plan.last_point - plan.first_point;
+    site_hits = plan.site_hits;
+    results;
+    commit_schedules =
+      List.length (List.filter (fun r -> match r.point with Commit _ -> true | _ -> false) results);
+    passed = List.length results - List.length failed;
+    failed;
+  }
+
+(* ---- shrinking -------------------------------------------------------- *)
+
+(* Minimal reproducer by prefix truncation: find the shortest [ops] prefix
+   under which the schedule still fires and still fails.  Sound because
+   every candidate is re-verified end to end; commit-point numbering under
+   a shorter prefix is unchanged for the prefix itself (the trace is a
+   prefix-closed determinism domain). *)
+let shrink cfg point =
+  let fails k =
+    if k >= cfg.ops then true
+    else
+      let cfg' : config = { cfg with ops = k } in
+      not (outcome_is_pass (run_one cfg' point))
+  in
+  let lo = ref 0 and hi = ref cfg.ops in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fails mid then hi := mid else lo := mid + 1
+  done;
+  { cfg with ops = !hi }

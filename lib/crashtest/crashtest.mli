@@ -1,0 +1,136 @@
+(** Systematic crash-schedule exploration ("crashtest").
+
+    TreeSLS's core claim is failure resilience: a power cut at {e any}
+    instant must recover to the last committed checkpoint (PAPER §4).  This
+    module turns that claim into an exhaustive test, the way JASS and
+    In-Cache-Line Logging validate their recovery paths:
+
+    + {b Enumerate}: run a deterministic workload trace once, counting
+      every journal commit point ({!Treesls_nvm.Warea.commit_points}) and
+      every named checkpoint/restore sub-phase crash site
+      ({!Treesls_nvm.Crash_site}).
+    + {b Inject}: re-run the same trace once per (crash point x phase)
+      schedule, arm exactly that crash, and let it fire — a journal commit
+      torn at one of the four {!Treesls_nvm.Warea.crash_phase}s, a
+      checkpoint sub-phase (captree walk, hybrid-copy migration steps,
+      publication, version bump), a crash {e during recovery itself}, or
+      plain DRAM loss between operations.
+    + {b Verify}: recover via [System.crash]/[recover], then require (a)
+      zero [slsfsck] audit errors, (b) a state fingerprint equal to a
+      crash-free {e twin} that committed the same version and was then
+      crash+recovered (normalising runtime-only state), and (c) liveness —
+      the recovered system still takes new work and checkpoints cleanly.
+
+    Every schedule is replayable from its reproducer string
+    (["seed=42;ops=150;commit:57:mid_apply"]) via {!point_of_string} and
+    {!run_one}, and a failure shrinks to a minimal trace prefix with
+    {!shrink}. *)
+
+module Warea = Treesls_nvm.Warea
+
+(** {2 Workload trace} *)
+
+type op =
+  | Notify of int
+  | Wait of int
+  | Touch of int
+  | Write of int
+  | Spawn
+  | Exit of int
+  | Grow
+  | Ckpt
+
+val gen_trace : seed:int -> ops:int -> op list
+(** Deterministic trace: same [seed]/[ops] — same trace, same commit-point
+    numbering, same site hit counts. *)
+
+val replay : Treesls.System.t -> op list -> on_op:(int -> unit) -> unit
+(** Replay a trace on a freshly booted system (after its baseline
+    checkpoint).  [on_op i] runs after op [i] completes.  An armed crash
+    raising {!Treesls_nvm.Warea.Crashed} mid-op escapes to the caller. *)
+
+(** {2 Schedules} *)
+
+type point =
+  | Commit of int * Warea.crash_phase
+      (** tear journal commit point [n] at the given phase *)
+  | Site of string * int  (** crash at the [n]th hit of a named crash site *)
+  | Restore_site of string * int
+      (** DRAM loss after op [k], then a second crash at the named site
+          during the recovery that follows (re-entrancy check) *)
+  | Op_crash of int  (** DRAM loss after op [k] *)
+
+val point_to_string : point -> string
+val point_of_string : string -> point option
+
+type outcome =
+  | Passed
+  | Did_not_fire
+      (** the armed crash never fired: commit-point numbering diverged
+          between the enumeration and injection runs (a determinism bug) *)
+  | Audit_failed of string
+  | Fingerprint_mismatch of int  (** recovered version *)
+  | Recovery_failed of string
+  | Liveness_failed of string
+
+val outcome_is_pass : outcome -> bool
+val outcome_to_string : outcome -> string
+
+type config = {
+  seed : int;
+  ops : int;
+  phases : Warea.crash_phase list;
+  include_sites : bool;
+  include_op_crashes : bool;
+  commit_cap : int;  (** max commit points sampled (each x |phases|) *)
+  per_site_cap : int;  (** max hits sampled per crash site *)
+  op_cap : int;  (** max DRAM-loss / per-restore-site op indices *)
+  recovery_bug : bool;
+      (** re-introduce the Mid_apply journal-replay bug
+          ({!Treesls_nvm.Warea.set_recovery_bug}); a correct sweep must
+          then report failures *)
+}
+
+val default_config : config
+
+val reproducer : config -> point -> string
+(** ["seed=<n>;ops=<n>;<point>"] — paste into
+    [treesls crashtest --schedule]. *)
+
+val parse_reproducer : string -> (int * int * point) option
+(** Inverse of {!reproducer}: [(seed, ops, point)]. *)
+
+(** {2 Running} *)
+
+type fingerprint
+(** Whole-state fingerprint: every reachable object's snapshot plus the
+    byte contents of every normal-PMO page, keyed by object id. *)
+
+val fingerprint : Treesls.System.t -> fingerprint
+
+val run_one : ?twins:(int, fingerprint) Hashtbl.t -> config -> point -> outcome
+(** Boot, arm [point], replay the trace, power-cut when it fires, recover,
+    verify.  [twins] caches per-version twin fingerprints across calls
+    (pass the same table when running many schedules). *)
+
+type result = { point : point; outcome : outcome }
+
+type sweep = {
+  config : config;
+  commit_points : int;  (** journal commit points in the trace window *)
+  site_hits : (string * int) list;  (** enumeration-run site hit counts *)
+  results : result list;
+  commit_schedules : int;  (** how many (commit point x phase) schedules ran *)
+  passed : int;
+  failed : result list;
+}
+
+val run : ?progress:(int -> int -> unit) -> config -> sweep
+(** The full sweep: enumerate, then inject every schedule.  [progress i n]
+    is called before schedule [i] of [n].  Emits [crashtest.schedules] /
+    [crashtest.failed] metrics and a [crashtest.fail] trace instant (with
+    the reproducer string) per failing schedule. *)
+
+val shrink : config -> point -> config
+(** Smallest [ops] prefix under which [point] still fails (binary search;
+    every candidate is re-verified end to end). *)

@@ -73,13 +73,35 @@ let eternal_pmos kernel =
       | Kobj.Notification _ | Kobj.Irq_notification _ -> ());
   List.sort (fun a b -> Int.compare a.Kobj.pmo_id b.Kobj.pmo_id) !acc
 
+(* Reattach claims: resolving by page count alone would hand two
+   equal-sized rings the same PMO, so the nth reattach asking for a given
+   page count takes the nth same-sized eternal PMO in creation (pmo_id)
+   order — services re-run in a fixed order after a restore, matching the
+   fixed creation order.  Claims are tracked per rebuilt kernel instance,
+   keyed by physical identity (Kobj graphs are cyclic, so structural keys
+   are unusable); only the most recent kernels are kept so the registry
+   stays bounded. *)
+let claims : (Kernel.t * (int, int) Hashtbl.t) list ref = ref []
+
+let claim_table kernel =
+  match List.find_opt (fun (k, _) -> k == kernel) !claims with
+  | Some (_, tbl) -> tbl
+  | None ->
+    let tbl = Hashtbl.create 8 in
+    claims := (kernel, tbl) :: List.filteri (fun i _ -> i < 7) !claims;
+    tbl
+
 let reattach kernel proc ~name:_ ~slots ~slot_size =
   let pages = pages_needed kernel ~slots ~slot_size in
+  let tbl = claim_table kernel in
+  let already = Option.value ~default:0 (Hashtbl.find_opt tbl pages) in
+  let same_size = List.filter (fun p -> p.Kobj.pmo_pages = pages) (eternal_pmos kernel) in
   let pmo =
-    match List.find_opt (fun p -> p.Kobj.pmo_pages = pages) (eternal_pmos kernel) with
+    match List.nth_opt same_size already with
     | Some p -> p
     | None -> invalid_arg "Ring.reattach: eternal PMO not found"
   in
+  Hashtbl.replace tbl pages (already + 1);
   (* The restored VM space usually still maps the ring; reuse that region
      rather than mapping it twice. *)
   let existing =

@@ -1,0 +1,42 @@
+(* Ambient registry like Treesls_obs.Probe: global state keeps the
+   checkpoint/restore pipelines free of plumbing, and the explorer resets it
+   around every run. *)
+
+type mode = Off | Record | Armed of { site : string; nth : int }
+
+let mode = ref Off
+let hits : (string, int) Hashtbl.t = Hashtbl.create 32
+
+let reset () =
+  mode := Off;
+  Hashtbl.reset hits
+
+let record () =
+  reset ();
+  mode := Record
+
+let arm ~site ~nth =
+  if nth < 1 then invalid_arg "Crash_site.arm: nth must be >= 1";
+  Hashtbl.reset hits;
+  mode := Armed { site; nth }
+
+let armed () = match !mode with Armed { site; nth } -> Some (site, nth) | Off | Record -> None
+
+let bump name =
+  let c = (match Hashtbl.find_opt hits name with Some c -> c | None -> 0) + 1 in
+  Hashtbl.replace hits name c;
+  c
+
+let hit name =
+  match !mode with
+  | Off -> ()
+  | Record -> ignore (bump name)
+  | Armed { site; nth } ->
+    if String.equal site name && bump name = nth then begin
+      mode := Off;
+      raise (Warea.Crashed ("site:" ^ name))
+    end
+
+let counts () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) hits []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -18,7 +18,12 @@ let commit t ~desc =
     Queue.fold (fun acc (i, _) -> (i, Hashtbl.find t.writes i) :: acc) [] t.seq
     |> List.rev
   in
-  if writes <> [] then Warea.commit t.area ~desc writes;
+  (* An empty write set still consumes a commit point: otherwise a crash
+     plan armed for this commit silently never fires and commit-point
+     numbering diverges between a crash-enumeration run and an injection
+     run (they must count the same transactions). *)
+  if writes = [] then Warea.consume_point t.area ~desc
+  else Warea.commit t.area ~desc writes;
   Hashtbl.reset t.writes;
   Queue.clear t.seq
 

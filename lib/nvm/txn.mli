@@ -13,7 +13,10 @@ val read : t -> int -> int
 val write : t -> int -> int -> unit
 val commit : t -> desc:string -> unit
 (** Journal-commit all pending writes. Raises {!Warea.Crashed} if a crash
-    plan is armed; pending writes are then lost or torn per the plan. *)
+    plan is armed; pending writes are then lost or torn per the plan.  An
+    empty write set performs no journal commit but still consumes a commit
+    point ({!Warea.consume_point}), so armed crash plans fire
+    deterministically even on empty transactions. *)
 
 val pending : t -> int
 (** Number of distinct words written so far. *)

@@ -2,6 +2,21 @@ exception Crashed of string
 
 type crash_phase = Before_log | After_log | Mid_apply | After_apply
 
+let phase_name = function
+  | Before_log -> "before_log"
+  | After_log -> "after_log"
+  | Mid_apply -> "mid_apply"
+  | After_apply -> "after_apply"
+
+let phase_of_string = function
+  | "before_log" -> Some Before_log
+  | "after_log" -> Some After_log
+  | "mid_apply" -> Some Mid_apply
+  | "after_apply" -> Some After_apply
+  | _ -> None
+
+let all_phases = [ Before_log; After_log; Mid_apply; After_apply ]
+
 (* A logged record survives crashes (it is on NVM). [complete] models the
    record's trailing checksum/commit mark: a record torn mid-write is
    detectable and must be discarded, not replayed. *)
@@ -11,13 +26,25 @@ type t = {
   words : int array;
   mutable log : record option;
   mutable crash_plan : crash_phase option;
+  mutable schedule : (int * crash_phase) option;
   mutable commits : int;
+  mutable points : int;
   mutable words_written : int;
+  mutable recovery_bug : bool;
 }
 
 let create ~words =
   assert (words > 0);
-  { words = Array.make words 0; log = None; crash_plan = None; commits = 0; words_written = 0 }
+  {
+    words = Array.make words 0;
+    log = None;
+    crash_plan = None;
+    schedule = None;
+    commits = 0;
+    points = 0;
+    words_written = 0;
+    recovery_bug = false;
+  }
 
 let size t = Array.length t.words
 let read t i = t.words.(i)
@@ -32,36 +59,45 @@ let check_distinct writes =
 
 let apply_all t record = Array.iter (fun (i, v) -> t.words.(i) <- v) record.writes
 
-let commit t ~desc writes =
-  check_distinct writes;
-  let arr = Array.of_list writes in
+(* Should an armed crash fire at [phase] of the current commit point?  Both
+   arming mechanisms disarm themselves on firing so recovery code can commit
+   freely afterwards. *)
+let fires t phase =
   (match t.crash_plan with
-  | Some Before_log ->
+  | Some p when p = phase ->
     t.crash_plan <- None;
+    true
+  | _ -> false)
+  ||
+  match t.schedule with
+  | Some (point, p) when point = t.points && p = phase ->
+    t.schedule <- None;
+    true
+  | _ -> false
+
+let commit t ~desc writes =
+  (* Validate before any side effect: a rejected commit must leave no torn
+     log behind (and must not consume a commit point), otherwise a later
+     crash+recover would observe state from a transaction that never
+     happened. *)
+  check_distinct writes;
+  t.points <- t.points + 1;
+  let arr = Array.of_list writes in
+  if fires t Before_log then begin
     (* The record was being written when power failed: keep a torn
        (incomplete) record so recovery exercises the discard path. *)
     t.log <- Some { writes = arr; complete = false };
     raise (Crashed (desc ^ ": before-log"))
-  | _ -> ());
+  end;
   t.log <- Some { writes = arr; complete = true };
-  (match t.crash_plan with
-  | Some After_log ->
-    t.crash_plan <- None;
-    raise (Crashed (desc ^ ": after-log"))
-  | _ -> ());
-  (match t.crash_plan with
-  | Some Mid_apply ->
-    t.crash_plan <- None;
+  if fires t After_log then raise (Crashed (desc ^ ": after-log"));
+  if fires t Mid_apply then begin
     let half = Array.length arr / 2 in
     Array.iteri (fun k (i, v) -> if k < half then t.words.(i) <- v) arr;
     raise (Crashed (desc ^ ": mid-apply"))
-  | _ -> ());
+  end;
   apply_all t { writes = arr; complete = true };
-  (match t.crash_plan with
-  | Some After_apply ->
-    t.crash_plan <- None;
-    raise (Crashed (desc ^ ": after-apply"))
-  | _ -> ());
+  if fires t After_apply then raise (Crashed (desc ^ ": after-apply"));
   t.log <- None;
   t.commits <- t.commits + 1;
   t.words_written <- t.words_written + Array.length arr;
@@ -70,15 +106,39 @@ let commit t ~desc writes =
   Treesls_obs.Probe.instant_v "nvm.txn"
     ~args:[ ("desc", desc); ("words", string_of_int (Array.length arr)) ]
 
+let consume_point t ~desc =
+  (* An empty transaction writes no journal record, so every crash phase
+     degenerates to a power cut with no journal side effects — but the
+     point must still be consumed so commit-point numbering stays in
+     lock-step between an enumeration run and an injection run. *)
+  t.points <- t.points + 1;
+  match t.crash_plan with
+  | Some p ->
+    t.crash_plan <- None;
+    raise (Crashed (desc ^ ": " ^ phase_name p ^ " (empty)"))
+  | None -> (
+    match t.schedule with
+    | Some (point, p) when point = t.points ->
+      t.schedule <- None;
+      raise (Crashed (desc ^ ": " ^ phase_name p ^ " (empty)"))
+    | _ -> ())
+
 let set_crash_plan t plan = t.crash_plan <- plan
+let set_crash_schedule t sched = t.schedule <- sched
+let crash_schedule t = t.schedule
+let set_recovery_bug t on = t.recovery_bug <- on
 
 let recover t =
   match t.log with
   | None -> ()
   | Some record ->
-    if record.complete then apply_all t record;
+    (* [recovery_bug] deliberately skips the redo replay (the bug class the
+       crash sweep must catch): a Mid_apply crash then leaves half-applied
+       words behind instead of completing the transaction. *)
+    if record.complete && not t.recovery_bug then apply_all t record;
     t.log <- None
 
 let in_flight t = t.log <> None
 let commits t = t.commits
+let commit_points t = t.points
 let words_written t = t.words_written

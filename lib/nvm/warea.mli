@@ -14,8 +14,13 @@
     state.
 
     Crash injection for tests: {!set_crash_plan} arms a simulated power
-    failure at a chosen phase of the next transaction; the transaction then
-    raises {!Crashed} leaving the area exactly as a real power cut would. *)
+    failure at a chosen phase of the next transaction, and
+    {!set_crash_schedule} arms one at an absolute {e commit point} (the
+    running count of transactions, including empty ones — see
+    {!consume_point}), which is what the crash-schedule explorer in
+    [lib/crashtest] uses to replay an enumerated crash deterministically.
+    The transaction then raises {!Crashed} leaving the area exactly as a
+    real power cut would. *)
 
 exception Crashed of string
 (** Raised by an armed crash plan. The word area is left in the torn state
@@ -29,6 +34,15 @@ type crash_phase =
   | Mid_apply  (** record durable, roughly half the writes applied *)
   | After_apply  (** all writes applied, record not yet truncated *)
 
+val phase_name : crash_phase -> string
+(** Stable lower-snake name, e.g. ["mid_apply"] (reproducer strings). *)
+
+val phase_of_string : string -> crash_phase option
+(** Inverse of {!phase_name}. *)
+
+val all_phases : crash_phase list
+(** The four phases in log order. *)
+
 val create : words:int -> t
 val size : t -> int
 
@@ -37,20 +51,51 @@ val read : t -> int -> int
 
 val commit : t -> desc:string -> (int * int) list -> unit
 (** [commit t ~desc writes] atomically applies [(index, value)] writes.
-    Indices must be distinct. Raises {!Crashed} if a crash plan is armed. *)
+    Indices must be distinct — validated before any journal side effect, so
+    a rejected commit leaves no torn log and consumes no commit point.
+    Raises {!Crashed} if a crash plan or schedule fires. *)
+
+val consume_point : t -> desc:string -> unit
+(** Consume one commit point without writing anything: what an {e empty}
+    transaction does.  Keeps commit-point numbering deterministic between a
+    crash-enumeration run and an injection run.  An armed crash plan (or a
+    schedule targeting this point) still fires — raising {!Crashed} with no
+    journal side effects, since there is no record to tear.  Does not count
+    toward {!commits}. *)
 
 val set_crash_plan : t -> crash_phase option -> unit
-(** Arm (or disarm) a crash during the next [commit]. *)
+(** Arm (or disarm) a crash during the next transaction. *)
+
+val set_crash_schedule : t -> (int * crash_phase) option -> unit
+(** [set_crash_schedule t (Some (point, phase))] arms a crash at [phase] of
+    the [point]-th commit point (1-based, as reported by
+    {!commit_points}).  Self-disarms on firing. *)
+
+val crash_schedule : t -> (int * crash_phase) option
+(** The currently armed schedule, if any (e.g. to detect one that never
+    fired). *)
 
 val recover : t -> unit
 (** Journal replay after a crash: redo a fully-logged record, drop a torn
     one. Idempotent. *)
 
+val set_recovery_bug : t -> bool -> unit
+(** Testing knob: when on, {!recover} deliberately skips the redo replay —
+    re-introducing the classic Mid_apply recovery bug (half-applied words
+    survive).  Exists so the crash sweep can demonstrate it catches this
+    bug class. *)
+
 val in_flight : t -> bool
 (** Whether an un-truncated journal record exists (only after a crash). *)
 
 val commits : t -> int
-(** Number of successful commits since creation (cost accounting). *)
+(** Number of successful non-empty commits since creation (cost
+    accounting). *)
+
+val commit_points : t -> int
+(** Number of commit points consumed since creation: every transaction,
+    empty or not, successful or crashed.  The coordinate system for
+    {!set_crash_schedule}. *)
 
 val words_written : t -> int
 (** Total data words written by successful commits. *)

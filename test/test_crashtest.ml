@@ -1,0 +1,113 @@
+(* Tests for the crash-schedule explorer (lib/crashtest): a small clean
+   sweep must pass everywhere, and a deliberately re-introduced journal
+   recovery bug must be caught — the acceptance demonstration that the
+   harness actually detects real recovery defects. *)
+
+module C = Treesls_crashtest.Crashtest
+module Warea = Treesls_nvm.Warea
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Small but representative: every phase, every site class, bounded caps.
+   Kept well under the CLI/bench default so `dune runtest` stays quick. *)
+let small_config =
+  {
+    C.default_config with
+    C.ops = 40;
+    commit_cap = 6;
+    per_site_cap = 2;
+    op_cap = 3;
+  }
+
+let clean_sweep () =
+  let sweep = C.run small_config in
+  check_bool "some journal commit points found" true (sweep.C.commit_points > 0);
+  check_bool "some commit schedules ran" true (sweep.C.commit_schedules > 0);
+  check_bool "checkpoint sites were hit" true (sweep.C.site_hits <> []);
+  check_int "no failures" 0 (List.length sweep.C.failed);
+  check_int "all schedules passed" (List.length sweep.C.results) sweep.C.passed
+
+(* Acceptance demo: re-introduce the classic journal-replay bug (recovery
+   skips the redo), and the sweep MUST report failures — specifically on
+   mid_apply schedules, the only phase whose recovery depends on the redo
+   replaying a complete record over half-applied words. *)
+let recovery_bug_caught () =
+  let cfg =
+    {
+      small_config with
+      C.recovery_bug = true;
+      (* commit-point schedules are where the journal bug lives *)
+      include_sites = false;
+      include_op_crashes = false;
+      commit_cap = 12;
+    }
+  in
+  let sweep = C.run cfg in
+  check_bool "sweep caught the recovery bug" true (List.length sweep.C.failed > 0);
+  List.iter
+    (fun (r : C.result) ->
+      match r.C.point with
+      | C.Commit (_, Warea.Mid_apply) -> ()
+      | p ->
+        Alcotest.failf "non-mid_apply schedule failed: %s (%s)" (C.point_to_string p)
+          (C.outcome_to_string r.C.outcome))
+    sweep.C.failed
+
+let single_schedule_replay () =
+  (* any commit point in the window replays deterministically *)
+  let out = C.run_one small_config (C.Commit (3, Warea.Mid_apply)) in
+  check_bool "replayed schedule passes" true (C.outcome_is_pass out)
+
+let reproducer_roundtrip () =
+  List.iter
+    (fun p ->
+      let s = C.reproducer small_config p in
+      match C.parse_reproducer s with
+      | Some (seed, ops, p') ->
+        check_int "seed" small_config.C.seed seed;
+        check_int "ops" small_config.C.ops ops;
+        Alcotest.(check string) "point" (C.point_to_string p) (C.point_to_string p')
+      | None -> Alcotest.failf "reproducer did not parse: %s" s)
+    [
+      C.Commit (57, Warea.Mid_apply);
+      C.Site ("ckpt.publish", 2);
+      C.Restore_site ("restore.begin", 9);
+      C.Op_crash 14;
+    ]
+
+let point_string_rejects_garbage () =
+  List.iter
+    (fun s -> check_bool s true (C.point_of_string s = None))
+    [ ""; "commit:x:mid_apply"; "commit:3:nope"; "site:only_one"; "op:NaN"; "weird:1:2" ]
+
+let shrink_finds_smaller_failure () =
+  let cfg = { small_config with C.recovery_bug = true } in
+  (* find one failing mid_apply schedule, then shrink its trace prefix *)
+  let sweep =
+    C.run { cfg with C.include_sites = false; include_op_crashes = false; commit_cap = 12 }
+  in
+  match sweep.C.failed with
+  | [] -> Alcotest.fail "expected a failure to shrink"
+  | r :: _ ->
+    let cfg' = C.shrink cfg r.C.point in
+    check_bool "prefix no longer than original" true (cfg'.C.ops <= cfg.C.ops);
+    check_bool "shrunk config still fails" true
+      (not (C.outcome_is_pass (C.run_one cfg' r.C.point)))
+
+let () =
+  Alcotest.run "crashtest"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "clean sweep has zero failures" `Slow clean_sweep;
+          Alcotest.test_case "deliberate recovery bug is caught" `Slow recovery_bug_caught;
+          Alcotest.test_case "single schedule replay" `Quick single_schedule_replay;
+        ] );
+      ( "reproducers",
+        [
+          Alcotest.test_case "roundtrip" `Quick reproducer_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick point_string_rejects_garbage;
+        ] );
+      ("shrink", [ Alcotest.test_case "shrinks a failing schedule" `Slow shrink_finds_smaller_failure ]);
+    ]

@@ -153,6 +153,36 @@ let ring_message_too_large () =
   Alcotest.check_raises "too large" (Invalid_argument "Ring.append: message too large")
     (fun () -> ignore (Ring.append r (Bytes.make 40 'x')))
 
+(* Regression: two equal-sized rings must reattach to their OWN eternal
+   PMOs after a crash.  Resolving by page count alone handed both services
+   the first matching PMO, so the second ring silently read the first
+   ring's messages. *)
+let ring_two_equal_rings_reattach () =
+  let sys, k, proc = boot_with_proc () in
+  let ra = Ring.create k proc ~name:"ring-a" ~slots:8 ~slot_size:64 in
+  let rb = Ring.create k proc ~name:"ring-b" ~slots:8 ~slot_size:64 in
+  ignore (Ring.append ra (Bytes.of_string "from-a"));
+  ignore (Ring.append rb (Bytes.of_string "from-b"));
+  Ring.on_checkpoint ra;
+  Ring.on_checkpoint rb;
+  ignore (System.checkpoint sys);
+  let _ = System.crash_and_recover sys in
+  let k = System.kernel sys in
+  let proc = Option.get (Kernel.find_process k ~name:"netdrv") in
+  (* services reattach in creation order, as a fixed boot sequence would *)
+  let ra2 = Ring.reattach k proc ~name:"ring-a" ~slots:8 ~slot_size:64 in
+  let rb2 = Ring.reattach k proc ~name:"ring-b" ~slots:8 ~slot_size:64 in
+  Ring.on_restore ra2;
+  Ring.on_restore rb2;
+  (match Ring.pop_visible ra2 with
+  | Some m -> Alcotest.(check string) "first ring sees its own data" "from-a" (Bytes.to_string m)
+  | None -> Alcotest.fail "ring-a lost its message");
+  (match Ring.pop_visible rb2 with
+  | Some m -> Alcotest.(check string) "second ring sees its own data" "from-b" (Bytes.to_string m)
+  | None -> Alcotest.fail "ring-b lost its message");
+  check_bool "ring-a drained" true (Ring.pop_visible ra2 = None);
+  check_bool "ring-b drained" true (Ring.pop_visible rb2 = None)
+
 let ring_survives_crash () =
   let sys, k, proc = boot_with_proc () in
   let r = Ring.create k proc ~name:"t" ~slots:8 ~slot_size:64 in
@@ -254,6 +284,8 @@ let () =
             ring_restore_discards_unpublished;
           Alcotest.test_case "oversized message" `Quick ring_message_too_large;
           Alcotest.test_case "survives crash" `Quick ring_survives_crash;
+          Alcotest.test_case "two equal-sized rings reattach distinctly" `Quick
+            ring_two_equal_rings_reattach;
         ] );
       ( "net-server",
         [

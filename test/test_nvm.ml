@@ -103,6 +103,85 @@ let warea_recover_idempotent () =
   Warea.recover w;
   check_int "applied" 9 (Warea.read w 0)
 
+(* Full phase matrix on a wide transaction: after recovery the words are
+   always ALL old or ALL new — never a mix — and a torn (incomplete)
+   record is discarded, not replayed. *)
+let warea_phase_matrix () =
+  List.iter
+    (fun phase ->
+      let w = Warea.create ~words:8 in
+      Warea.commit w ~desc:"init" (List.init 6 (fun i -> (i, 100)));
+      Warea.set_crash_plan w (Some phase);
+      (try
+         Warea.commit w ~desc:"update" (List.init 6 (fun i -> (i, 200)));
+         Alcotest.fail "expected crash"
+       with Warea.Crashed _ -> ());
+      (* every phase but Before_log leaves a complete record *)
+      check_bool (Warea.phase_name phase ^ " leaves a record") true (Warea.in_flight w);
+      Warea.recover w;
+      check_bool "record truncated" false (Warea.in_flight w);
+      let v0 = Warea.read w 0 in
+      check_bool "all-old or all-new" true (v0 = 100 || v0 = 200);
+      for i = 1 to 5 do
+        check_int (Printf.sprintf "%s word %d agrees" (Warea.phase_name phase) i) v0
+          (Warea.read w i)
+      done;
+      if phase = Warea.Before_log then check_int "torn record discarded" 100 v0
+      else check_int "complete record replayed" 200 v0)
+    Warea.all_phases
+
+let warea_duplicate_before_side_effects () =
+  let w = Warea.create ~words:4 in
+  Warea.set_crash_plan w (Some Warea.Before_log);
+  Alcotest.check_raises "duplicate rejected first" (Invalid_argument "Warea.commit: duplicate index")
+    (fun () -> Warea.commit w ~desc:"d" [ (1, 1); (1, 2) ]);
+  check_bool "no torn record staged" false (Warea.in_flight w);
+  check_int "no commit point consumed" 0 (Warea.commit_points w);
+  (* validation ran before the crash machinery: the plan is still armed
+     and fires on the next well-formed commit *)
+  (try
+     Warea.commit w ~desc:"ok" [ (1, 5) ];
+     Alcotest.fail "expected armed plan to fire"
+   with Warea.Crashed _ -> ());
+  Warea.recover w;
+  check_int "before-log rolled back" 0 (Warea.read w 1)
+
+let warea_empty_point_counts () =
+  let w = Warea.create ~words:4 in
+  Warea.commit w ~desc:"a" [ (0, 1) ];
+  check_int "one point" 1 (Warea.commit_points w);
+  Warea.consume_point w ~desc:"empty";
+  check_int "empty txn consumed a point" 2 (Warea.commit_points w);
+  check_int "commits unchanged" 1 (Warea.commits w);
+  Warea.commit w ~desc:"b" [ (0, 2) ];
+  check_int "numbering continues" 3 (Warea.commit_points w)
+
+let warea_empty_point_fires_armed_plan () =
+  let w = Warea.create ~words:4 in
+  Warea.set_crash_plan w (Some Warea.After_log);
+  (try
+     Warea.consume_point w ~desc:"empty";
+     Alcotest.fail "expected crash"
+   with Warea.Crashed _ -> ());
+  check_bool "no journal side effects" false (Warea.in_flight w);
+  Warea.recover w;
+  check_int "point still consumed" 1 (Warea.commit_points w)
+
+let warea_schedule_fires_at_absolute_point () =
+  let w = Warea.create ~words:4 in
+  Warea.set_crash_schedule w (Some (3, Warea.After_log));
+  Warea.commit w ~desc:"p1" [ (0, 1) ];
+  Warea.commit w ~desc:"p2" [ (0, 2) ];
+  (try
+     Warea.commit w ~desc:"p3" [ (0, 3) ];
+     Alcotest.fail "expected crash at point 3"
+   with Warea.Crashed _ -> ());
+  check_bool "self-disarmed" true (Warea.crash_schedule w = None);
+  Warea.recover w;
+  check_int "after-log rolls forward" 3 (Warea.read w 0);
+  (* points 1 and 2 committed untouched *)
+  check_int "points consumed" 3 (Warea.commit_points w)
+
 (* ---- Txn ---- *)
 
 let txn_read_through () =
@@ -120,7 +199,10 @@ let txn_empty_commit () =
   let w = Warea.create ~words:4 in
   let t = Txn.create w in
   Txn.commit t ~desc:"empty";
-  check_int "no commit recorded" 0 (Warea.commits w)
+  check_int "no commit recorded" 0 (Warea.commits w);
+  (* ...but a commit point IS consumed: numbering must not depend on
+     whether a transaction happened to stage any writes *)
+  check_int "commit point consumed" 1 (Warea.commit_points w)
 
 let txn_rewrite_single_entry () =
   let w = Warea.create ~words:4 in
@@ -513,6 +595,13 @@ let () =
           Alcotest.test_case "crash after-apply rolls forward" `Quick
             (warea_crash_atomicity Warea.After_apply true);
           Alcotest.test_case "recover idempotent" `Quick warea_recover_idempotent;
+          Alcotest.test_case "full phase matrix: never a mix" `Quick warea_phase_matrix;
+          Alcotest.test_case "duplicate validated before side effects" `Quick
+            warea_duplicate_before_side_effects;
+          Alcotest.test_case "empty txn consumes a commit point" `Quick warea_empty_point_counts;
+          Alcotest.test_case "empty txn fires armed plan" `Quick warea_empty_point_fires_armed_plan;
+          Alcotest.test_case "schedule fires at absolute point" `Quick
+            warea_schedule_fires_at_absolute_point;
         ] );
       ( "txn",
         [
