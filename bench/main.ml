@@ -47,6 +47,8 @@ let experiments =
       ("Incremental walk: captree vs dirty fraction x tree size", Exp_incr_walk.run) );
     ( "crashtest",
       ("Crash-schedule exploration: enumerate/inject/recover/verify sweep", Exp_crashtest.run) );
+    ( "wear",
+      ("NVM write amplification + wear telemetry: eager vs incremental walk", Exp_wear.run) );
     ("smoke", ("Audit smoke: checkpoints + crash/restore under --audit (make ci)", Exp_smoke.run));
   ]
 
@@ -120,12 +122,12 @@ let run_bechamel () =
     Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
       Instance.monotonic_clock raw
   in
-  Hashtbl.iter
-    (fun name est ->
-      match Analyze.OLS.estimates est with
-      | Some [ ns ] -> Printf.printf "  %-45s %12.0f ns/op\n" name ns
-      | Some _ | None -> Printf.printf "  %-45s (no estimate)\n" name)
-    ols
+  Hashtbl.fold (fun name est acc -> (name, est) :: acc) ols []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (name, est) ->
+         match Analyze.OLS.estimates est with
+         | Some [ ns ] -> Printf.printf "  %-45s %12.0f ns/op\n" name ns
+         | Some _ | None -> Printf.printf "  %-45s (no estimate)\n" name)
 
 (* --- CLI -------------------------------------------------------------- *)
 

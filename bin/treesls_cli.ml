@@ -13,6 +13,9 @@
      treesls_cli trace --requests 20         newest request timelines (Rtrace)
      treesls_cli metrics -w sqlite --json    run and dump the metrics registry
      treesls_cli inspect -w sqlite           NVM census by subsystem (--json for JSON)
+     treesls_cli wear top -w redis -n 5000   NVM write/wear telemetry: WAF, hottest pages
+     treesls_cli wear --heatmap wear.csv     ... full per-page heatmap as CSV
+     treesls_cli wear --json                 ... totals/subsystems/top pages as JSON
      treesls_cli doctor -w redis --crash 2   audit the persisted state (slsfsck)
      treesls_cli diff -w sqlite -n 3000      explain the last two checkpoint versions
      treesls_cli crashtest                   sweep every crash schedule of a smoke trace
@@ -303,7 +306,7 @@ let doctor_cmd =
   let run workload ops interval crashes seed json =
     let sys = boot_configured interval in
     drive sys ~workload ~ops ~crashes ~seed;
-    let r = System.audit sys in
+    let r = System.audit ~wear:Audit.default_wear_thresholds sys in
     if json then print_endline (Audit.to_json r) else Format.printf "%a@." Audit.pp r;
     if Audit.errors r > 0 then exit 2
   in
@@ -311,8 +314,73 @@ let doctor_cmd =
     (Cmd.info "doctor"
        ~doc:
          "Run a workload, then audit the persisted state against the checkpoint invariants \
-          (slsfsck); exits 2 on any error-severity violation")
+          (slsfsck) plus warning-severity wear-health checks (write amplification, wear \
+          skew, unattributed NVM writes); exits 2 on any error-severity violation")
     Term.(const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg $ json_arg)
+
+let wear_cmd =
+  let module Wearmap = Treesls_obs.Wearmap in
+  let top_n =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Hottest pages to show")
+  in
+  let heatmap =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "heatmap" ] ~docv:"FILE"
+          ~doc:"Write the full per-page wear heatmap (CSV, one line per touched page) to FILE")
+  in
+  let run workload ops interval crashes seed top_n heatmap json =
+    let sys = boot_configured interval in
+    System.ensure_wear_backing sys;
+    drive sys ~workload ~ops ~crashes ~seed;
+    let wm = System.wearmap sys in
+    let owners =
+      let tbl = Nvm_census.page_owners (System.manager sys) in
+      fun p -> Hashtbl.find_opt tbl p
+    in
+    if json then print_endline (Wearmap.to_json ~owners ~top_n wm)
+    else begin
+      Printf.printf "nvm writes: %d (%d bytes) across %d pages touched\n"
+        (Wearmap.total_writes wm) (Wearmap.total_bytes wm) (Wearmap.pages_tracked wm);
+      Printf.printf "page copies: %d charged %d ns by the cost model\n" (Wearmap.copy_pages wm)
+        (Wearmap.copy_ns wm);
+      (match Manager.last_report (System.manager sys) with
+      | Some r ->
+        Printf.printf "last checkpoint: %d physical B / %d logical dirty B -> waf %.2f\n"
+          r.Report.nvm_bytes_written r.Report.logical_dirty_bytes (Report.waf r)
+      | None -> ());
+      Printf.printf "wear skew: max=%d writes mean=%.1f max/mean=%.1f gini=%.3f\n"
+        (Wearmap.max_writes wm) (Wearmap.mean_writes wm) (Wearmap.skew wm) (Wearmap.gini wm);
+      Printf.printf "\n  %-18s %10s %14s\n" "subsystem" "writes" "bytes";
+      List.iter
+        (fun (name, writes, bytes) -> Printf.printf "  %-18s %10d %14d\n" name writes bytes)
+        (Wearmap.subsystems wm);
+      Printf.printf "\nhottest %d pages:\n" top_n;
+      List.iter
+        (fun (page, writes, bytes) ->
+          Printf.printf "  page %6d %8d writes %12d B  %s\n" page writes bytes
+            (Option.value ~default:"-" (owners page)))
+        (Wearmap.top wm ~n:top_n)
+    end;
+    match heatmap with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Wearmap.to_csv ~owners wm);
+      close_out oc;
+      Printf.printf "wrote %s (page,writes,bytes,owner per touched page)\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "wear"
+       ~doc:
+         "Run a workload, then report NVM write/wear telemetry: total physical bytes by \
+          writing subsystem, last-checkpoint write amplification, per-page wear skew and the \
+          hottest pages with their owners; $(b,--heatmap) exports the full per-page \
+          distribution as CSV, $(b,--json) the summary as JSON")
+    Term.(
+      const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg $ top_n
+      $ heatmap $ json_arg)
 
 let diff_cmd =
   let from_arg =
@@ -576,6 +644,6 @@ let () =
        (Cmd.group
           (Cmd.info "treesls_cli" ~doc)
           [
-            census_cmd; ckpt_cmd; run_cmd; trace_cmd; metrics_cmd; inspect_cmd; doctor_cmd;
-            diff_cmd; crashtest_cmd;
+            census_cmd; ckpt_cmd; run_cmd; trace_cmd; metrics_cmd; inspect_cmd; wear_cmd;
+            doctor_cmd; diff_cmd; crashtest_cmd;
           ]))

@@ -116,6 +116,9 @@ let checkpoint_object st obj ~new_ver =
   charge_object_copy st obj ~full;
   let snap = Snapshot.take obj in
   Oroot.save oroot ~version:new_ver snap;
+  (* the snapshot lands in the ORoot's NVM slot: physical bytes, but no
+     single device page backs the (modeled) object store *)
+  Probe.wear_note ~subsystem:"ckpt.snapshot" ~bytes:(Snapshot.bytes snap);
   (match obj with
   | Kobj.Pmo pmo when pmo.Kobj.pmo_kind = Kobj.Pmo_normal ->
     let pages = Oroot.pages_exn oroot in
@@ -360,6 +363,7 @@ let run st =
   let incremental = st.State.features.State.incremental_walk && not st.State.force_full in
   let visited = Hashtbl.create 512 in
   let skipped = ref 0 in
+  Treesls_obs.Wearmap.with_writer "ckpt.captree" (fun () ->
   Kobj.iter_tree ~root:(Kernel.root kernel) (fun obj ->
       let oid = Kobj.id obj in
       Hashtbl.replace visited oid ();
@@ -395,7 +399,7 @@ let run st =
         Hashtbl.replace g_kinds kind (dt + Option.value ~default:0 (Hashtbl.find_opt g_kinds kind));
         let cost_stats = State.obj_cost st kind in
         Stats.add (if full then cost_stats.State.full else cost_stats.State.incr) (float_of_int dt)
-      end);
+      end));
   st.State.force_full <- false;
   let walk_ns = now st - walk0 in
   Probe.exit walk_tok
@@ -417,8 +421,9 @@ let run st =
       Array.iter
         (fun entries ->
           let meter = ref 0 in
-          Store.with_sink store (Store.Meter meter) (fun () ->
-              hybrid_sublist st ~new_ver entries (dirty_copied, migrated_in, migrated_out));
+          Treesls_obs.Wearmap.with_writer "ckpt.hybrid" (fun () ->
+              Store.with_sink store (Store.Meter meter) (fun () ->
+                  hybrid_sublist st ~new_ver entries (dirty_copied, migrated_in, migrated_out)));
           if !meter > !worst then worst := !meter)
         sublists;
       Active_list.compact st.State.active;
@@ -468,6 +473,16 @@ let run st =
   Probe.ckpt_committed ~version:new_ver ~stw_t0:t0 ~stw_t1:(t0 + stw_ns);
   (* external synchrony callbacks run after the commit (release replies) *)
   List.iter (fun cb -> cb ()) st.State.ckpt_callbacks;
+  (* Write-amplification: physical NVM bytes landed since the previous
+     checkpoint (wearmap delta — app data, CoW backups, hybrid copies,
+     snapshots, journal, meta) over the application-level dirty delta
+     (dirty pages × page size, identical whatever the walk strategy). *)
+  let wear_now = Probe.wear_total_bytes () in
+  let nvm_bytes_written = wear_now - st.State.wear_mark in
+  st.State.wear_mark <- wear_now;
+  let logical_dirty_bytes =
+    (Store.cost store).Cost.page_size * (protected_before + !dirty_copied)
+  in
   let report =
     {
       Report.version = new_ver;
@@ -497,6 +512,8 @@ let run st =
       migrated_out = !migrated_out;
       cached_pages = Active_list.cached_count st.State.active;
       snapshot_bytes = !snap_bytes;
+      nvm_bytes_written;
+      logical_dirty_bytes;
     }
   in
   Probe.count "ckpt.runs" 1;
@@ -514,5 +531,19 @@ let run st =
   Probe.observe "ckpt.captree_ns" walk_ns;
   Probe.observe "ckpt.hybrid_ns" hybrid_ns;
   Probe.observe "ckpt.others_ns" others_ns;
+  (* wear telemetry: WAF ×100 (integer gauge), per-subsystem cumulative
+     bytes, device materialisation watermarks, and — with tracing on — a
+     Perfetto counter-track sample of the same per-subsystem series *)
+  Probe.gauge "ckpt.nvm.waf" (100 * nvm_bytes_written / max 1 logical_dirty_bytes);
+  Probe.count "ckpt.nvm.bytes" nvm_bytes_written;
+  (match Probe.installed () with
+  | Some p ->
+    List.iter
+      (fun (name, _writes, bytes) -> Probe.gauge ("nvm.bytes_written." ^ name) bytes)
+      (Treesls_obs.Wearmap.subsystems (Probe.wearmap p))
+  | None -> ());
+  Probe.gauge "nvm.pages_touched" (Store.nvm_pages_touched store);
+  Probe.gauge "dram.pages_touched" (Store.dram_pages_touched store);
+  Probe.wear_counter_sample ();
   st.State.last_report <- Some report;
   report

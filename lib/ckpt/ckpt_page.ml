@@ -47,6 +47,10 @@ let cow_backup store t ~runtime ~pno ~global =
       else begin
         (* Runtime on NVM: CP case, b2 is the runtime marker. *)
         assert (cp.b2 = None);
+        (* The backup copy is checkpoint wear even though the fault that
+           triggered it arrived under the writer's ("app"/"extsync")
+           context — with_writer overrides the ambient default. *)
+        Treesls_obs.Wearmap.with_writer "ckpt.cow" @@ fun () ->
         let dst =
           match cp.b1 with
           | Some p -> p

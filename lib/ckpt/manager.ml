@@ -82,7 +82,11 @@ let crash t =
   Kernel.crash (kernel t)
 
 let recover t =
-  let report = Restore.run t.st in
+  let report =
+    (* journal replay and page normalisation during restore are recovery
+       wear, not app wear *)
+    Treesls_obs.Wearmap.with_writer "restore" (fun () -> Restore.run t.st)
+  in
   install_hooks t.st;
   (match t.st.State.interval_ns with
   | Some n -> t.st.State.next_ckpt_at <- Clock.now (Kernel.clock (kernel t)) + n
@@ -99,6 +103,9 @@ let checkpoint_bytes t = State.checkpoint_bytes t.st
 let last_report t = t.st.State.last_report
 
 let obj_costs t =
+  (* sorted by kind name: Hashtbl fold order must not leak into CLI output *)
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.st.State.obj_costs []
+  |> List.sort (fun (a, _) (b, _) ->
+         compare (Treesls_cap.Kobj.kind_name a) (Treesls_cap.Kobj.kind_name b))
 
 let reset_obj_costs t = Hashtbl.reset t.st.State.obj_costs

@@ -22,7 +22,14 @@ type t = {
   migrated_out : int;
   cached_pages : int;
   snapshot_bytes : int;
+  nvm_bytes_written : int;
+  logical_dirty_bytes : int;
 }
+
+(* write-amplification factor: physical NVM bytes landed this interval per
+   logical dirty byte (dirty pages × page size); numerator floor of 1 keeps
+   an idle interval finite *)
+let waf t = float_of_int t.nvm_bytes_written /. float_of_int (max 1 t.logical_dirty_bytes)
 
 let zero =
   {
@@ -43,6 +50,8 @@ let zero =
     migrated_out = 0;
     cached_pages = 0;
     snapshot_bytes = 0;
+    nvm_bytes_written = 0;
+    logical_dirty_bytes = 0;
   }
 
 (* costliest subtree first; name breaks ties so output is deterministic *)
@@ -90,7 +99,7 @@ let folded_lines t =
 let pp ppf t =
   Format.fprintf ppf
     "ckpt v%d: stw=%.1fus (ipi=%.1f captree=%.1f others=%.1f | hybrid=%.1f) objs=%d(full %d) \
-     skip=%d ro=%d sc=%d mig=+%d/-%d cached=%d snap=%dB"
+     skip=%d ro=%d sc=%d mig=+%d/-%d cached=%d snap=%dB nvm=%dB/%dB waf=%.2f"
     t.version
     (float_of_int t.stw_ns /. 1e3)
     (float_of_int t.ipi_ns /. 1e3)
@@ -98,7 +107,8 @@ let pp ppf t =
     (float_of_int t.others_ns /. 1e3)
     (float_of_int t.hybrid_ns /. 1e3)
     t.objects_walked t.full_objects t.objects_skipped t.pages_protected t.dram_dirty_copied
-    t.migrated_in t.migrated_out t.cached_pages t.snapshot_bytes;
+    t.migrated_in t.migrated_out t.cached_pages t.snapshot_bytes t.nvm_bytes_written
+    t.logical_dirty_bytes (waf t);
   (match
      List.sort
        (fun (a, _) (b, _) ->

@@ -26,10 +26,24 @@ type t = {
   migrated_out : int;  (** pages demoted DRAM -> NVM *)
   cached_pages : int;  (** DRAM-cached pages after this checkpoint *)
   snapshot_bytes : int;  (** object snapshot bytes written *)
+  nvm_bytes_written : int;
+      (** physical NVM bytes landed since the previous checkpoint (wearmap
+          delta): app data, CoW backups, hybrid copies, snapshots, journal
+          and meta words *)
+  logical_dirty_bytes : int;
+      (** page size × (pages_protected + dram_dirty_copied) — the
+          application-level dirty delta this interval, independent of
+          checkpoint strategy *)
 }
 
 val zero : t
 val pp : Format.formatter -> t -> unit
+
+val waf : t -> float
+(** Write-amplification factor: [nvm_bytes_written / max 1
+    logical_dirty_bytes].  The checkpoint strategy's overhead shows up
+    here — an eager walk re-writes every object snapshot each interval
+    and amplifies accordingly; the incremental walk should not. *)
 
 val sorted_groups : t -> (string * group_cost) list
 (** [per_group] sorted costliest first (name breaks ties). *)

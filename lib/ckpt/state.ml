@@ -30,6 +30,7 @@ type t = {
   mutable force_full : bool;
   mutable owner_cache : (int, string) Hashtbl.t option;
   mutable owner_cache_epoch : int;
+  mutable wear_mark : int;
 }
 
 let default_features () =
@@ -60,6 +61,7 @@ let create kernel active_cfg features =
     force_full = true;
     owner_cache = None;
     owner_cache_epoch = -1;
+    wear_mark = 0;
   }
 
 let oroot_for t obj ~version =

@@ -56,6 +56,10 @@ type t = {
           attribution; valid only while [owner_cache_epoch] matches
           [Kernel.procs_epoch] *)
   mutable owner_cache_epoch : int;
+  mutable wear_mark : int;
+      (** cumulative wearmap bytes at the last committed checkpoint: the
+          per-interval physical-NVM-bytes delta (WAF numerator) is measured
+          against this watermark by [Checkpoint.run] *)
 }
 
 val default_features : unit -> features

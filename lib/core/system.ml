@@ -98,9 +98,31 @@ let enable_tracing ?(verbose = false) ?(eternal_backing = true) t =
   Probe.set_verbose t.obs verbose;
   if eternal_backing then ensure_eternal_backing t
 
+(* Like the trace ring's backing, but for the wearmap's per-page counters:
+   8 bytes of write count + 8 bytes written per NVM page.  Lazy (not at
+   boot) so systems that never ask for wear residency keep the same
+   eternal-PMO layout as before — Ring.reattach resolves eternal PMOs by
+   creation order. *)
+let ensure_wear_backing t =
+  match Probe.wear_backing_pmo t.obs with
+  | Some _ -> ()
+  | None ->
+    let k = kernel t in
+    let store = Kernel.store k in
+    let bytes = Treesls_nvm.Store.nvm_pages_total store * 16 in
+    let psz = (Kernel.cost k).Treesls_sim.Cost.page_size in
+    let pages = max 1 ((bytes + psz - 1) / psz) in
+    let pmo = Kernel.make_eternal_pmo k ~pages in
+    Probe.set_wear_backing_pmo t.obs pmo.Treesls_cap.Kobj.pmo_id;
+    Probe.instant "obs.wear_backing"
+      ~args:
+        [ ("pmo", string_of_int pmo.Treesls_cap.Kobj.pmo_id); ("pages", string_of_int pages) ]
+
+let wearmap t = Probe.wearmap t.obs
+
 (* --- state audit (slsfsck) -------------------------------------------- *)
 
-let audit t = Treesls_audit.Audit.run t.mgr
+let audit ?wear t = Treesls_audit.Audit.run ?wear t.mgr
 let nvm_census t = Treesls_audit.Nvm_census.collect t.mgr
 
 let disable_tracing t = Probe.set_tracing t.obs false

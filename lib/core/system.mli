@@ -87,10 +87,12 @@ val trace : t -> Treesls_obs.Trace.t
     Deep invariant checking and NVM accounting over the persisted state
     ({!Treesls_audit}).  Both are pure reads of a quiesced system. *)
 
-val audit : t -> Treesls_audit.Audit.report
+val audit : ?wear:Treesls_audit.Audit.wear_thresholds -> t -> Treesls_audit.Audit.report
 (** Check the checkpoint invariants (committed-version consistency,
     CP/CPP well-formedness, allocator reconciliation, eternal-PMO
-    exclusion...); a healthy system reports zero violations. *)
+    exclusion...); a healthy system reports zero violations.  [wear]
+    additionally enables warning-severity wear-health checks (write
+    amplification, wear skew, unattributed NVM writes). *)
 
 val nvm_census : t -> Treesls_audit.Nvm_census.t
 (** Price NVM consumption by subsystem. *)
@@ -104,6 +106,18 @@ val enable_tracing : ?verbose:bool -> ?eternal_backing:bool -> t -> unit
     for in the cost model at enable time. *)
 
 val disable_tracing : t -> unit
+
+val wearmap : t -> Treesls_obs.Wearmap.t
+(** NVM write/wear telemetry collected by this system's probe — always on
+    while the probe is installed; counters are monotone across
+    crash/restore. *)
+
+val ensure_wear_backing : t -> unit
+(** Reserve an eternal PMO sized for the wearmap's per-page counters
+    (16 B per NVM page) so the telemetry's NVM residency — what makes the
+    counters crash-surviving — is visible in the capability tree, like the
+    trace ring's backing.  Idempotent; lazy so that systems which never
+    ask for wear residency keep their eternal-PMO layout unchanged. *)
 
 val metrics_snapshot : t -> Treesls_obs.Metrics.snapshot
 

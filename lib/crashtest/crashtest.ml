@@ -148,6 +148,7 @@ type outcome =
   | Fingerprint_mismatch of int  (* recovered version *)
   | Recovery_failed of string
   | Liveness_failed of string
+  | Wear_failed of string  (* wearmap invariant broken across crash/restore *)
 
 let outcome_is_pass = function Passed -> true | _ -> false
 
@@ -158,6 +159,48 @@ let outcome_to_string = function
   | Fingerprint_mismatch g -> Printf.sprintf "fingerprint mismatch vs twin @v%d" g
   | Recovery_failed e -> "recovery: " ^ e
   | Liveness_failed e -> "liveness: " ^ e
+  | Wear_failed e -> "wear: " ^ e
+
+(* Every writer context the simulator can legitimately put on the wear
+   stack; attribution outside this set (including [Wearmap.unattributed])
+   means an instrumentation gap or a bogus context leaking across a
+   crash. *)
+let known_wear_subsystems =
+  [
+    "app";
+    "extsync";
+    "nvm.journal";
+    "nvm.meta";
+    "nvm.swap";
+    "ckpt.captree";
+    "ckpt.snapshot";
+    "ckpt.cow";
+    "ckpt.hybrid";
+    "restore";
+    "restore.journal";
+  ]
+
+(* Post-recovery wearmap invariants: physical-write counters are monotone
+   across crash/restore (nothing ever rolls them back), and every byte is
+   attributed to a subsystem that can actually run. *)
+let wear_check sys ~bytes_before =
+  let wm = System.wearmap sys in
+  let total = Treesls_obs.Wearmap.total_bytes wm in
+  if total < bytes_before then
+    Some
+      (Printf.sprintf "total bytes shrank across crash/restore (%d -> %d)" bytes_before
+         total)
+  else
+    List.fold_left
+      (fun acc (name, _writes, bytes) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if not (List.mem name known_wear_subsystems) then
+            Some (Printf.sprintf "%d bytes attributed to unknown subsystem %S" bytes name)
+          else None)
+      None
+      (Treesls_obs.Wearmap.subsystems wm)
 
 type config = {
   seed : int;
@@ -344,6 +387,7 @@ let run_one ?(twins = Hashtbl.create 8) cfg point =
   (* Disarm leftovers: recovery must not re-fire a stale plan. *)
   Warea.set_crash_schedule w None;
   Crash_site.reset ();
+  let wear_bytes_before = Treesls_obs.Wearmap.total_bytes (System.wearmap sys) in
   let outcome =
     if not !fired then Did_not_fire
     else begin
@@ -372,7 +416,13 @@ let run_one ?(twins = Hashtbl.create 8) cfg point =
           let g = System.version sys in
           let fp = fingerprint sys in
           if fp <> twin_fingerprint twins cfg g then Fingerprint_mismatch g
-          else match liveness_check sys with Some e -> Liveness_failed e | None -> Passed)
+          else
+            match liveness_check sys with
+            | Some e -> Liveness_failed e
+            | None -> (
+              match wear_check sys ~bytes_before:wear_bytes_before with
+              | Some e -> Wear_failed e
+              | None -> Passed))
     end
   in
   Warea.set_recovery_bug w false;

@@ -72,6 +72,10 @@ type outcome =
   | Fingerprint_mismatch of int  (** recovered version *)
   | Recovery_failed of string
   | Liveness_failed of string
+  | Wear_failed of string
+      (** a wearmap invariant broke across crash/restore: physical-write
+          counters shrank, or bytes were attributed outside the known
+          writer-context vocabulary (e.g. [unattributed]) *)
 
 val outcome_is_pass : outcome -> bool
 val outcome_to_string : outcome -> string

@@ -36,6 +36,9 @@ let read_cursor t off =
   Int64.to_int (Bytes.get_int64_le b 0)
 
 let write_cursor t off v =
+  (* the ring lives in an eternal PMO on NVM: cursor writes are extsync
+     wear, not app wear *)
+  Treesls_obs.Wearmap.with_writer "extsync" @@ fun () ->
   Kernel.write_bytes t.kernel t.proc ~vaddr:(t.base + off) (int_to_bytes v)
 
 let reader t = read_cursor t 0
@@ -131,8 +134,9 @@ let append ?(req = 0) t msg =
     let va = slot_vaddr t w in
     let hdr = Bytes.create 4 in
     Bytes.set_int32_le hdr 0 (Int32.of_int len);
-    Kernel.write_bytes t.kernel t.proc ~vaddr:va hdr;
-    Kernel.write_bytes t.kernel t.proc ~vaddr:(va + 4) msg;
+    Treesls_obs.Wearmap.with_writer "extsync" (fun () ->
+        Kernel.write_bytes t.kernel t.proc ~vaddr:va hdr;
+        Kernel.write_bytes t.kernel t.proc ~vaddr:(va + 4) msg);
     t.slot_req.(w mod t.slots) <- req;
     write_cursor t 8 (w + 1);
     true

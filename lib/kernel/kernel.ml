@@ -363,7 +363,11 @@ let set_dirty_bit t proc vpn =
   | Some pte -> pte.Pagetable.dirty <- true
   | None -> ()
 
+(* The generic write syscall claims the "app" wear context, but only as a
+   default: when a more specific subsystem (extsync ring, checkpoint) is
+   already on the ambient writer stack, its attribution wins. *)
 let write_bytes t proc ~vaddr (data : Bytes.t) =
+  Treesls_obs.Wearmap.with_default_writer "app" @@ fun () ->
   let psz = page_size t in
   let len = Bytes.length data in
   let rec loop vaddr src_off remaining =
@@ -397,6 +401,7 @@ let read_bytes t proc ~vaddr ~len =
 let cookie = Bytes.make 8 '\x5a'
 
 let touch_write t proc ~vpn =
+  Treesls_obs.Wearmap.with_default_writer "app" @@ fun () ->
   let paddr = ensure_mapped t proc ~vpn ~for_write:true in
   Store.write_page t.store paddr ~off:0 cookie;
   set_dirty_bit t proc vpn

@@ -29,22 +29,35 @@ let read t idx ~off ~len =
   let p = page t idx in
   Bytes.sub p off len
 
+(* Every physical byte landing on an NVM page feeds the wearmap, attributed
+   to the ambient writer context — this is the single choke point that makes
+   write-amplification and wear measurable (DRAM/SSD writes cost no
+   endurance and are not counted). *)
+let wear t idx ~bytes =
+  match t.kind with
+  | Paddr.Nvm -> Treesls_obs.Probe.wear_page_write ~page:idx ~bytes
+  | Paddr.Dram | Paddr.Ssd -> ()
+
 let write t idx ~off src =
   let len = Bytes.length src in
   assert (off >= 0 && off + len <= t.page_size);
   let p = page t idx in
-  Bytes.blit src 0 p off len
+  Bytes.blit src 0 p off len;
+  wear t idx ~bytes:len
 
 let copy_page ~src ~src_idx ~dst ~dst_idx =
   assert (src.page_size = dst.page_size);
   let s = page src src_idx in
   let d = page dst dst_idx in
-  Bytes.blit s 0 d 0 src.page_size
+  Bytes.blit s 0 d 0 src.page_size;
+  wear dst dst_idx ~bytes:dst.page_size
 
 let zero_page t idx =
   match t.store.(idx) with
-  | None -> ()
-  | Some b -> Bytes.fill b 0 t.page_size '\000'
+  | None -> () (* lazily-materialised pages are already zero: no write *)
+  | Some b ->
+    Bytes.fill b 0 t.page_size '\000';
+    wear t idx ~bytes:t.page_size
 
 let crash t =
   match t.kind with

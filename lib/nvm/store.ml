@@ -119,6 +119,9 @@ let copy_page t ~src ~dst =
     Cost.page_copy_ns t.cost ~src_dram:(Paddr.is_dram src) ~dst_dram:(Paddr.is_dram dst)
   in
   charge t ns;
+  (* reconcile charged copy time against physical bytes: the wearmap pairs
+     this ns with the page-sized write Device.copy_page records below *)
+  if Paddr.is_nvm dst then Probe.wear_copy_charged ~ns;
   Device.copy_page ~src:(device t src) ~src_idx:src.Paddr.idx ~dst:(device t dst)
     ~dst_idx:dst.Paddr.idx
 
@@ -173,6 +176,9 @@ let swap_out t ~src =
 
 let swap_in t ~slot =
   if not (Paddr.is_ssd slot) then invalid_arg "Store.swap_in: source must be an SSD slot";
+  (* swap-in can fire on a read fault, outside any writer context; its
+     NVM landing is swap machinery wear either way *)
+  Treesls_obs.Wearmap.with_writer "nvm.swap" @@ fun () ->
   let dst = alloc_page t in
   charge t (ssd_page_ns t);
   Probe.count "nvm.swap.ins" 1;
@@ -239,6 +245,8 @@ let corrupt_page t addr =
 
 let nvm_pages_free t = Buddy.free_pages t.buddy
 let nvm_pages_total t = Buddy.total_pages t.buddy
+let nvm_pages_touched t = Device.touched t.nvm
+let dram_pages_touched t = Device.touched t.dram
 let dram_pages_free t = t.dram_free_count
 let live_objects t = Slab.live t.slab
 let journal_commits t = Warea.commits t.warea

@@ -131,6 +131,13 @@ val corrupt_page : t -> Paddr.t -> unit
 
 val nvm_pages_free : t -> int
 val nvm_pages_total : t -> int
+
+val nvm_pages_touched : t -> int
+val dram_pages_touched : t -> int
+(** Pages whose backing storage has been materialised on each device
+    (surfaces [Device.touched]); the DRAM count resets to 0 on crash,
+    the NVM count survives. *)
+
 val dram_pages_free : t -> int
 val live_objects : t -> int
 val journal_commits : t -> int

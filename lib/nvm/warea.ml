@@ -103,6 +103,10 @@ let commit t ~desc writes =
   t.words_written <- t.words_written + Array.length arr;
   Treesls_obs.Probe.count "nvm.txn.commits" 1;
   Treesls_obs.Probe.count "nvm.txn.words" (Array.length arr);
+  (* journal write model: each committed word costs an 8-byte log record
+     plus its 8-byte in-place apply — 16 physical NVM bytes per word, so
+     journal wear reconciles exactly with the nvm.txn.words counter *)
+  Treesls_obs.Probe.wear_note ~subsystem:"nvm.journal" ~bytes:(16 * Array.length arr);
   Treesls_obs.Probe.instant_v "nvm.txn"
     ~args:[ ("desc", desc); ("words", string_of_int (Array.length arr)) ]
 
@@ -135,7 +139,14 @@ let recover t =
     (* [recovery_bug] deliberately skips the redo replay (the bug class the
        crash sweep must catch): a Mid_apply crash then leaves half-applied
        words behind instead of completing the transaction. *)
-    if record.complete && not t.recovery_bug then apply_all t record;
+    if record.complete && not t.recovery_bug then begin
+      apply_all t record;
+      (* redo replay re-applies each word in place: 8 physical bytes/word,
+         attributed separately so normal-run journal wear still reconciles
+         with the nvm.txn.words counter *)
+      Treesls_obs.Probe.wear_note ~subsystem:"restore.journal"
+        ~bytes:(8 * Array.length record.writes)
+    end;
     t.log <- None
 
 let in_flight t = t.log <> None

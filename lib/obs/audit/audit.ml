@@ -14,9 +14,10 @@ module Buddy = Treesls_nvm.Buddy
 module Slab = Treesls_nvm.Slab
 module Global_meta = Treesls_nvm.Global_meta
 module Probe = Treesls_obs.Probe
+module Wearmap = Treesls_obs.Wearmap
 
 type severity = Info | Warning | Error
-type subsystem = Meta | Journal | Captree | Pages | Allocator | Eternal
+type subsystem = Meta | Journal | Captree | Pages | Allocator | Eternal | Wear
 
 type violation = {
   severity : severity;
@@ -44,13 +45,22 @@ let subsystem_name = function
   | Pages -> "pages"
   | Allocator -> "allocator"
   | Eternal -> "eternal"
+  | Wear -> "wear"
 
 let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+(* Wear-health thresholds (doctor): warn when a checkpoint interval's
+   write amplification or the per-page wear skew crosses these.  Opt-in —
+   [run] performs the checks only when thresholds are passed, so a plain
+   audit of a healthy system still reports zero violations. *)
+type wear_thresholds = { waf_warn : float; skew_warn : float; skew_min_pages : int }
+
+let default_wear_thresholds = { waf_warn = 8.0; skew_warn = 50.0; skew_min_pages = 64 }
 
 (* ------------------------------------------------------------------ *)
 (* The audit walk                                                      *)
 
-let run mgr =
+let run ?wear mgr =
   let st = Manager.state mgr in
   let kernel = Manager.kernel mgr in
   let store = Kernel.store kernel in
@@ -215,6 +225,45 @@ let run mgr =
       | None ->
         add ~obj_id:id Error Eternal "trace backing PMO is not reachable from the root"))
   | Some _ | None -> ());
+
+  (* The wearmap's NVM backing (when reserved) follows the same rule. *)
+  (match Probe.installed () with
+  | Some probe when Probe.clock probe == Kernel.clock kernel -> (
+    match Probe.wear_backing_pmo probe with
+    | None -> ()
+    | Some id -> (
+      match Hashtbl.find_opt reachable id with
+      | Some (Kobj.Pmo p) when p.Kobj.pmo_kind = Kobj.Pmo_eternal -> ()
+      | Some _ -> add ~obj_id:id Error Eternal "wear backing object is not an eternal PMO"
+      | None ->
+        add ~obj_id:id Error Eternal "wear backing PMO is not reachable from the root"))
+  | Some _ | None -> ());
+
+  (* Wear health (doctor, opt-in): write-amplification and wear-skew
+     thresholds, plus unattributed writes — NVM bytes recorded outside any
+     writer context mean an instrumentation gap. *)
+  (match (wear, Probe.installed ()) with
+  | Some th, Some probe when Probe.clock probe == Kernel.clock kernel ->
+    let wm = Probe.wearmap probe in
+    let unattributed = Wearmap.subsystem_bytes wm Wearmap.unattributed in
+    if unattributed > 0 then
+      add Warning Wear "%d NVM bytes written outside any writer context" unattributed;
+    (match Manager.last_report mgr with
+    | Some r when r.Treesls_ckpt.Report.logical_dirty_bytes > 0 ->
+      let waf = Treesls_ckpt.Report.waf r in
+      if waf > th.waf_warn then
+        add Warning Wear "write amplification %.2f exceeds threshold %.2f (last checkpoint)"
+          waf th.waf_warn
+    | Some _ | None -> ());
+    let tracked = Wearmap.pages_tracked wm in
+    if tracked >= th.skew_min_pages then begin
+      let skew = Wearmap.skew wm in
+      if skew > th.skew_warn then
+        add Warning Wear
+          "wear skew %.1f (max/mean writes over %d pages) exceeds threshold %.1f" skew
+          tracked th.skew_warn
+    end
+  | _ -> ());
 
   (* Allocator: internal invariants, then reconcile every live buddy
      block against exactly one owning subsystem. *)

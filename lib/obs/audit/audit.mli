@@ -45,7 +45,7 @@ module Paddr = Treesls_nvm.Paddr
 
 type severity = Info | Warning | Error
 
-type subsystem = Meta | Journal | Captree | Pages | Allocator | Eternal
+type subsystem = Meta | Journal | Captree | Pages | Allocator | Eternal | Wear
 
 type violation = {
   severity : severity;
@@ -64,10 +64,22 @@ type report = {
   census : Nvm_census.t;
 }
 
-val run : Manager.t -> report
+type wear_thresholds = { waf_warn : float; skew_warn : float; skew_min_pages : int }
+(** Wear-health limits: warn when the last checkpoint's write
+    amplification exceeds [waf_warn], or when max/mean per-page write
+    skew exceeds [skew_warn] (checked only once at least
+    [skew_min_pages] NVM pages have been written). *)
+
+val default_wear_thresholds : wear_thresholds
+(** [{ waf_warn = 8.0; skew_warn = 50.0; skew_min_pages = 64 }] *)
+
+val run : ?wear:wear_thresholds -> Manager.t -> report
 (** Audit a quiesced system.  Bumps the [audit.runs] and
     [audit.violations] metrics counters (and [audit.errors] when any
-    violation is [Error]-severity). *)
+    violation is [Error]-severity).  [wear] additionally enables
+    [Warning]-severity wear-health checks (write amplification, wear
+    skew, unattributed NVM writes) — opt-in so a plain audit of a
+    healthy system reports zero violations regardless of workload. *)
 
 val ok : report -> bool
 (** No violations at all. *)

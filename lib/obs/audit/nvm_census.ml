@@ -96,6 +96,57 @@ let collect mgr =
     allocator_meta_bytes = 8 * Store.allocator_meta_words store;
   }
 
+(* NVM page index -> human-readable owner label, for wear-heatmap
+   attribution: role (runtime/eternal/backup/detached/slab), owning
+   process subtree, and object id.  Same claim order as the audit's roles
+   table (slab, reachable PMOs, detached runtimes, backup frames) with
+   first-claim-wins for pages shared between views. *)
+let page_owners mgr =
+  let kernel = Manager.kernel mgr in
+  let store = Kernel.store kernel in
+  let owners : (int, string) Hashtbl.t = Hashtbl.create 256 in
+  let claim idx label = if not (Hashtbl.mem owners idx) then Hashtbl.add owners idx label in
+  let claim_radix radix label =
+    Radix.iter (fun _ paddr -> if Paddr.is_nvm paddr then claim paddr.Paddr.idx label) radix
+  in
+  List.iter (fun off -> claim off "slab") (Slab.slab_pages (Store.slab store));
+  (* object id -> owning process name (first process wins for shared
+     objects; objects reachable only from the root stay "kernel") *)
+  let proc_of = Hashtbl.create 256 in
+  List.iter
+    (fun (p : Kernel.process) ->
+      Kobj.iter_tree ~root:p.Kernel.cg (fun obj ->
+          let oid = Kobj.id obj in
+          if not (Hashtbl.mem proc_of oid) then Hashtbl.add proc_of oid p.Kernel.pname))
+    (Kernel.processes kernel);
+  let owner_of oid = Option.value ~default:"kernel" (Hashtbl.find_opt proc_of oid) in
+  Kobj.iter_tree ~root:(Kernel.root kernel) (fun obj ->
+      match obj with
+      | Kobj.Pmo p ->
+        let role = if p.Kobj.pmo_kind = Kobj.Pmo_eternal then "eternal" else "runtime" in
+        claim_radix p.Kobj.pmo_radix
+          (Printf.sprintf "%s/%s/pmo%d" role (owner_of (Kobj.id obj)) p.Kobj.pmo_id)
+      | _ -> ());
+  Manager.iter_oroots mgr (fun oid (oroot : Oroot.t) ->
+      (match oroot.Oroot.runtime with
+      | Some (Kobj.Pmo p) ->
+        claim_radix p.Kobj.pmo_radix (Printf.sprintf "detached/pmo%d" p.Kobj.pmo_id)
+      | Some _ | None -> ());
+      match oroot.Oroot.pages with
+      | None -> ()
+      | Some cps ->
+        Ckpt_page.iter
+          (fun _pno (cp : Ckpt_page.cp) ->
+            let backup = function
+              | Some pa when Paddr.is_nvm pa ->
+                claim pa.Paddr.idx (Printf.sprintf "backup/%s/obj%d" (owner_of oid) oid)
+              | Some _ | None -> ()
+            in
+            backup cp.Ckpt_page.b1;
+            backup cp.Ckpt_page.b2)
+          cps);
+  owners
+
 let accounted_pages t =
   t.runtime_pages + t.eternal_pages + t.backup_cp_frames + t.backup_cpp_frames
   + t.slab_pages

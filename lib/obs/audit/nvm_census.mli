@@ -39,6 +39,12 @@ type t = {
 val collect : Treesls_ckpt.Manager.t -> t
 (** Walk a quiesced system. Pure read; charges no simulated time. *)
 
+val page_owners : Treesls_ckpt.Manager.t -> (int, string) Hashtbl.t
+(** NVM page index -> owner label
+    ([role/process/object], e.g. ["runtime/memcached/pmo12"],
+    ["backup/redis/obj7"], ["eternal/kernel/pmo3"], ["slab"]) for
+    wear-heatmap attribution.  Pure read; charges no simulated time. *)
+
 val accounted_pages : t -> int
 (** Pages claimed by some subsystem:
     runtime + eternal + CP + CPP + slab. *)

@@ -5,9 +5,11 @@ type t = {
   trace : Trace.t;
   metrics : Metrics.t;
   rtrace : Rtrace.t;
+  wearmap : Wearmap.t;
   mutable tracing : bool;
   mutable verbose : bool;
   mutable backing_pmo : int option;
+  mutable wear_backing_pmo : int option;
 }
 
 (* The simulator is single-threaded, so "the installed probe" is a single
@@ -23,9 +25,11 @@ let create ?(capacity = 4096) ~clock () =
     trace = Trace.create ~capacity ();
     metrics = Metrics.create ();
     rtrace = Rtrace.create ();
+    wearmap = Wearmap.create ();
     tracing = false;
     verbose = false;
     backing_pmo = None;
+    wear_backing_pmo = None;
   }
 
 let install t = current := Some t
@@ -43,6 +47,9 @@ let set_verbose t on = t.verbose <- on
 let verbose t = t.verbose
 let set_backing_pmo t id = t.backing_pmo <- Some id
 let backing_pmo t = t.backing_pmo
+let set_wear_backing_pmo t id = t.wear_backing_pmo <- Some id
+let wear_backing_pmo t = t.wear_backing_pmo
+let wearmap t = t.wearmap
 
 let tracing_enabled () = match !current with Some t -> t.tracing | None -> false
 
@@ -172,6 +179,37 @@ let req_released ~id ~version =
           ~args:[ ("commit", "v" ^ string_of_int version) ]
       end)
   | None -> ()
+
+(* --- wear emitters ---------------------------------------------------- *)
+
+(* Always on while a probe is installed, like metrics: the wearmap is the
+   instrument that makes NVM-cost claims falsifiable, so it must not
+   require tracing to be enabled.  Host-time cost only. *)
+
+let wear_page_write ~page ~bytes =
+  match !current with
+  | Some t -> Wearmap.record t.wearmap ~page ~bytes
+  | None -> ()
+
+let wear_note ~subsystem ~bytes =
+  match !current with
+  | Some t -> Wearmap.note t.wearmap ~subsystem ~bytes
+  | None -> ()
+
+let wear_copy_charged ~ns =
+  match !current with
+  | Some t -> Wearmap.copy_charged t.wearmap ~ns
+  | None -> ()
+
+let wear_total_bytes () =
+  match !current with Some t -> Wearmap.total_bytes t.wearmap | None -> 0
+
+let wear_counter_sample () =
+  match !current with
+  | Some t when t.tracing ->
+    Trace.counter t.trace ~now:(Clock.now t.clock) "nvm.bytes_written"
+      ~values:(List.map (fun (name, _, bytes) -> (name, bytes)) (Wearmap.subsystems t.wearmap))
+  | Some _ | None -> ()
 
 (* --- metrics emitters ------------------------------------------------- *)
 

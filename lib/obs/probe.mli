@@ -31,6 +31,10 @@ val rtrace : t -> Rtrace.t
 (** Request-causality tracker (see {!Rtrace}); always collecting while
     the probe is installed, like metrics. *)
 
+val wearmap : t -> Wearmap.t
+(** NVM write/wear telemetry (see {!Wearmap}); always collecting while
+    the probe is installed, like metrics. *)
+
 val set_tracing : t -> bool -> unit
 val tracing : t -> bool
 val set_verbose : t -> bool -> unit
@@ -40,6 +44,11 @@ val set_backing_pmo : t -> int -> unit
 val backing_pmo : t -> int option
 (** Id of the eternal PMO reserved as the ring's NVM backing (set by
     [System.enable_tracing]); [None] while tracing is off. *)
+
+val set_wear_backing_pmo : t -> int -> unit
+val wear_backing_pmo : t -> int option
+(** Id of the eternal PMO reserved as the wearmap's NVM backing (set by
+    [System.ensure_wear_backing]); [None] until reserved. *)
 
 val tracing_enabled : unit -> bool
 
@@ -101,6 +110,29 @@ val ckpt_committed : version:int -> stw_t0:int -> stw_t1:int -> unit
 (** Record the just-committed checkpoint's STW window so release flow
     arrows can bind to its trace slice.  Called by [Checkpoint.run]
     before the post-commit callbacks that publish ring entries. *)
+
+(** {2 Wear emitters} — active whenever a probe is installed (like
+    metrics); host-time cost only.  Call sites: [Device.write]/
+    [copy_page]/[zero_page] record physical page writes, [Warea.commit]
+    notes journal bytes, [Checkpoint.run] notes snapshot bytes, and
+    [Store.copy_page] reconciles charged copy time with copied bytes. *)
+
+val wear_page_write : page:int -> bytes:int -> unit
+(** A physical write of [bytes] to NVM page [page], attributed to the
+    ambient {!Wearmap} writer context. *)
+
+val wear_note : subsystem:string -> bytes:int -> unit
+(** Modeled metadata bytes with no single backing page. *)
+
+val wear_copy_charged : ns:int -> unit
+(** A whole-page NVM copy was charged [ns] by the cost model. *)
+
+val wear_total_bytes : unit -> int
+(** Cumulative physical NVM bytes recorded so far (0 with no probe). *)
+
+val wear_counter_sample : unit -> unit
+(** With tracing on, record a [nvm.bytes_written] Perfetto counter sample
+    carrying the cumulative per-subsystem byte totals. *)
 
 (** {2 Metrics emitters} — active whenever a probe is installed. *)
 

@@ -1,4 +1,4 @@
-type phase = Complete | Instant | Flow_start | Flow_end
+type phase = Complete | Instant | Flow_start | Flow_end | Counter
 
 type event = {
   seq : int;
@@ -81,6 +81,13 @@ let flow_start t ?(args = []) ~flow_id name ~ts_ns =
 let flow_end t ?(args = []) ~flow_id name ~ts_ns =
   record t ~name ~ph:Flow_end ~ts_ns ~dur_ns:0 ~id:flow_id ~parent:0 ~args
 
+(* Counter samples ([ph:"C"]) render as stacked counter tracks in the
+   Perfetto UI; values are stored stringified but exported as raw numbers
+   (the viewer requires numeric args for counters). *)
+let counter t ~now name ~values =
+  record t ~name ~ph:Counter ~ts_ns:now ~dur_ns:0 ~id:0 ~parent:0
+    ~args:(List.map (fun (k, v) -> (k, string_of_int v)) values)
+
 let abort_open t ~now =
   List.iter (fun s -> close_span t ~now ~extra_args:[ ("aborted", "true") ] s) t.stack;
   t.stack <- []
@@ -125,7 +132,12 @@ let event_json ~pid ~tid b e =
   Buffer.add_string b
     (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d"
        (json_escape e.name) (json_escape e.cat)
-       (match e.ph with Complete -> "X" | Instant -> "i" | Flow_start -> "s" | Flow_end -> "f")
+       (match e.ph with
+       | Complete -> "X"
+       | Instant -> "i"
+       | Flow_start -> "s"
+       | Flow_end -> "f"
+       | Counter -> "C")
        (us e.ts_ns) pid tid);
   (match e.ph with
   | Complete -> Buffer.add_string b (Printf.sprintf ",\"dur\":%s" (us e.dur_ns))
@@ -133,20 +145,30 @@ let event_json ~pid ~tid b e =
   | Flow_start -> Buffer.add_string b (Printf.sprintf ",\"id\":%d" e.id)
   (* "bp":"e" binds the arrow to the enclosing slice rather than the
      next slice on the track — required to land on ckpt.stw itself *)
-  | Flow_end -> Buffer.add_string b (Printf.sprintf ",\"id\":%d,\"bp\":\"e\"" e.id));
+  | Flow_end -> Buffer.add_string b (Printf.sprintf ",\"id\":%d,\"bp\":\"e\"" e.id)
+  | Counter -> ());
   Buffer.add_string b ",\"args\":{";
-  let is_flow = match e.ph with Flow_start | Flow_end -> true | _ -> false in
-  let args =
-    [ ("seq", string_of_int e.seq) ]
-    @ (if e.id <> 0 && not is_flow then [ ("span", string_of_int e.id) ] else [])
-    @ (if e.parent <> 0 then [ ("parent", string_of_int e.parent) ] else [])
-    @ e.args
-  in
-  List.iteri
-    (fun i (k, v) ->
-      if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
-    args;
+  (match e.ph with
+  | Counter ->
+    (* counter args must be raw numbers for the viewer to build tracks *)
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":%s" (json_escape k) v))
+      e.args
+  | Complete | Instant | Flow_start | Flow_end ->
+    let is_flow = match e.ph with Flow_start | Flow_end -> true | _ -> false in
+    let args =
+      [ ("seq", string_of_int e.seq) ]
+      @ (if e.id <> 0 && not is_flow then [ ("span", string_of_int e.id) ] else [])
+      @ (if e.parent <> 0 then [ ("parent", string_of_int e.parent) ] else [])
+      @ e.args
+    in
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+      args);
   Buffer.add_string b "}}"
 
 let to_perfetto_json ?(pid = 1) ?(tid = 1) t =
@@ -179,3 +201,6 @@ let pp_event ppf e =
   | Flow_end ->
     Format.fprintf ppf "[%8d] %10.3fus %12s %-20s id=%d%s" e.seq (float_of_int e.ts_ns /. 1e3)
       ">flow" e.name e.id args
+  | Counter ->
+    Format.fprintf ppf "[%8d] %10.3fus %12s %-20s%s" e.seq (float_of_int e.ts_ns /. 1e3)
+      "counter" e.name args

@@ -12,7 +12,7 @@
     duration, and the enclosing span's id.  Instants record immediately
     under the currently open span. *)
 
-type phase = Complete | Instant | Flow_start | Flow_end
+type phase = Complete | Instant | Flow_start | Flow_end | Counter
 
 type event = {
   seq : int;  (** global record index, monotonically increasing *)
@@ -54,6 +54,11 @@ val flow_start : t -> ?args:(string * string) list -> flow_id:int -> string -> t
 val flow_end : t -> ?args:(string * string) list -> flow_id:int -> string -> ts_ns:int -> unit
 (** End of a flow arrow ([ph:"f"], with [bp:"e"] so it binds to the
     enclosing slice). *)
+
+val counter : t -> now:int -> string -> values:(string * int) list -> unit
+(** Record a counter sample ([ph:"C"]): one named track per [values] key,
+    rendered as stacked counter tracks in the Perfetto UI — used for the
+    per-subsystem NVM bytes-written series sampled at each checkpoint. *)
 
 val abort_open : t -> now:int -> unit
 (** Close every open span with an [aborted=true] arg — called when a crash
