@@ -31,6 +31,7 @@ ci:
 	dune exec bench/main.exe -- --exp incr_walk --smoke --audit --json-dir .
 	dune exec bench/main.exe -- --exp crashtest --smoke --json-dir .
 	dune exec bench/main.exe -- --exp wear --smoke --audit --json-dir .
+	dune exec bench/main.exe -- --exp rto --smoke --audit --json-dir .
 
 # Full evaluation sweep; drops one BENCH_<exp>.json per experiment.
 bench:

@@ -1,0 +1,212 @@
+(* Recovery observability: per-phase restore time (RTO) + flight recorder
+   (exp_rto).
+
+   Preloads a KV live set under 1 ms checkpoints, power-cuts it, and reads
+   the sealed {!Treesls_obs.Rto} record back out of the recovered system —
+   then varies, independently, the amount of *cold* NVM (capacity that
+   holds no live data) and the amount of *live* state (keys the workload
+   actually committed).  The paper's restore walks only reachable
+   checkpoint metadata (Fig. 5 step 7), so restore time must track the
+   live set, not the NVM capacity.
+
+   Built-in correctness gates (the harness exits 2 if any fails):
+   - the per-phase exclusive breakdown is exact: sum(phases) + untracked
+     = total, and untracked stays <= 1% of total (nothing material happens
+     outside a named phase);
+   - doubling cold NVM at a fixed live set moves restore time by <= 1.1x,
+     while quadrupling the live set moves it by > 1.1x (restore scales
+     with live metadata, not capacity);
+   - the flight-recorder Perfetto export round-trips: it names both the
+     ["pre-crash"] and ["recovery"] tracks, carries the crash-instant
+     marker, and holds every captured pre-crash event;
+   - a small crash-schedule sweep reports an RTO record (total > 0, exact
+     phase sum) for every passing schedule, with zero failures and the
+     merged [restore.*] histograms populated once per recovery. *)
+
+open Exp_common
+module Rto = Treesls_obs.Rto
+module C = Treesls_crashtest.Crashtest
+
+let die fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("rto: " ^ m);
+      exit 2)
+    fmt
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* One victim run: boot with [nvm_pages] capacity, commit a live set of
+   [apps] KV server/client pairs each holding [live_keys] keys, run a
+   short steady phase, power-cut, recover, and return the sealed recovery
+   record plus the flight export.  [apps] scales the live *object* set
+   (processes, threads, PMOs, IPC connections) the restore must
+   materialize; [live_keys] scales the checkpointed pages. *)
+let run_victim ~nvm_pages ~apps ~live_keys ~ops =
+  let sys = boot ~nvm_pages () in
+  System.enable_tracing sys;
+  let rng = Rng.create 11L in
+  let instances =
+    List.init apps (fun _ ->
+        Kv_app.launch ~keys_hint:live_keys ~value_size:256 sys Kv_app.Memcached)
+  in
+  List.iter
+    (fun app ->
+      for i = 0 to live_keys - 1 do
+        Kv_app.set_i app i;
+        ignore (System.tick sys)
+      done)
+    instances;
+  ignore (System.checkpoint sys);
+  let first = List.hd instances in
+  for _ = 1 to ops do
+    Kv_app.set_i first (Rng.int rng live_keys);
+    ignore (System.tick sys)
+  done;
+  ignore (System.crash_and_recover sys);
+  Kv_app.refresh first;
+  (* one post-recovery request seals time-to-first-request *)
+  Kv_app.set_i first 0;
+  match (System.last_recovery sys, System.export_flight sys) with
+  | Some r, Some flight -> (r, flight)
+  | _ -> die "nvm_pages=%d apps=%d live=%d: no recovery record sealed" nvm_pages apps live_keys
+
+let phase_sum (r : Rto.record) = List.fold_left (fun a (_, ns) -> a + ns) 0 r.Rto.r_phases
+
+let check_exact name (r : Rto.record) =
+  if r.Rto.r_total_ns <= 0 then die "%s: total_ns %d not positive" name r.Rto.r_total_ns;
+  if phase_sum r + r.Rto.r_untracked_ns <> r.Rto.r_total_ns then
+    die "%s: phases %d + untracked %d <> total %d" name (phase_sum r) r.Rto.r_untracked_ns
+      r.Rto.r_total_ns;
+  if float_of_int r.Rto.r_untracked_ns > 0.01 *. float_of_int r.Rto.r_total_ns then
+    die "%s: untracked %d ns exceeds 1%% of total %d ns" name r.Rto.r_untracked_ns
+      r.Rto.r_total_ns
+
+let check_flight (r : Rto.record) flight =
+  List.iter
+    (fun needle -> if not (contains flight needle) then die "flight export lacks %S" needle)
+    [ "\"pre-crash\""; "\"recovery\""; "\"marker\""; "\"flight\""; "\"process_name\"" ];
+  if List.length r.Rto.r_pre_crash = 0 then die "flight captured no pre-crash events";
+  (* every captured pre-crash event's name must appear in the export *)
+  List.iter
+    (fun (e : Treesls_obs.Trace.event) ->
+      if not (contains flight (Printf.sprintf "%S" e.Treesls_obs.Trace.name)) then
+        die "flight export lost pre-crash event %S" e.Treesls_obs.Trace.name)
+    r.Rto.r_pre_crash
+
+let check_sweep () =
+  let cfg = { C.default_config with C.ops = 60; commit_cap = 2; per_site_cap = 1; op_cap = 2 } in
+  let sweep = C.run cfg in
+  if sweep.C.failed <> [] then
+    die "crashtest sweep reported %d failures" (List.length sweep.C.failed);
+  let recovered = ref 0 in
+  List.iter
+    (fun (res : C.result) ->
+      match res.C.recovery with
+      | Some r ->
+        incr recovered;
+        check_exact ("sweep " ^ C.point_to_string res.C.point) r
+      | None ->
+        if C.outcome_is_pass res.C.outcome then
+          die "passing schedule %s has no recovery record" (C.point_to_string res.C.point))
+    sweep.C.results;
+  if !recovered = 0 then die "sweep sealed no recovery records";
+  (match List.assoc_opt "restore.total_ns" sweep.C.rto_stats with
+  | None -> die "sweep rto_stats lacks restore.total_ns"
+  | Some h ->
+    if Histogram.count h <> !recovered then
+      die "restore.total_ns histogram holds %d samples, expected %d recoveries"
+        (Histogram.count h) !recovered);
+  (List.length sweep.C.results, !recovered, sweep.C.rto_stats)
+
+let run () =
+  let scale = if !smoke then 1 else 2 in
+  let live = 1_500 * scale and ops = 400 * scale in
+  let base_pages = 1 lsl 15 in
+  (* cold-data axis: same live set, double the NVM capacity *)
+  let small, small_flight = run_victim ~nvm_pages:base_pages ~apps:1 ~live_keys:live ~ops in
+  let cold, _ = run_victim ~nvm_pages:(2 * base_pages) ~apps:1 ~live_keys:live ~ops in
+  (* live-state axis: same capacity, 4x the live apps (objects and pages) *)
+  let big, _ = run_victim ~nvm_pages:base_pages ~apps:4 ~live_keys:live ~ops in
+  check_exact "base" small;
+  check_exact "cold" cold;
+  check_exact "big" big;
+  check_flight small small_flight;
+  let cold_ratio = float_of_int cold.Rto.r_total_ns /. float_of_int small.Rto.r_total_ns in
+  let live_ratio = float_of_int big.Rto.r_total_ns /. float_of_int small.Rto.r_total_ns in
+  if cold_ratio > 1.1 then
+    die "doubling cold NVM scaled restore %.2fx (> 1.1x): restore depends on capacity"
+      cold_ratio;
+  if live_ratio <= 1.1 then
+    die "4x live apps scaled restore only %.2fx (<= 1.1x): restore not tracking live state"
+      live_ratio;
+  let schedules, recoveries, rto_stats = check_sweep () in
+  let row name (r : Rto.record) =
+    let phase p = Option.value ~default:0 (List.assoc_opt p r.Rto.r_phases) in
+    [
+      name;
+      string_of_int r.Rto.r_restored_objects;
+      string_of_int r.Rto.r_pages_restored;
+      f1 (float_of_int r.Rto.r_total_ns /. 1e3);
+      f1 (float_of_int (phase "journal_replay") /. 1e3);
+      f1 (float_of_int (phase "page_remap") /. 1e3);
+      f1 (float_of_int (phase "materialize") /. 1e3);
+      f1 (float_of_int (phase "ring_reattach") /. 1e3);
+      f1 (100.0 *. float_of_int r.Rto.r_untracked_ns /. float_of_int r.Rto.r_total_ns);
+      (if r.Rto.r_ttfr_ns >= 0 then f1 (float_of_int r.Rto.r_ttfr_ns /. 1e3) else "-");
+    ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Restore-time (RTO) profile: capacity vs live-state scaling (cold 2x -> %.2fx, live \
+          4x -> %.2fx; phase sums exact, %d/%d sweep schedules sealed RTO records)"
+         cold_ratio live_ratio recoveries schedules)
+    ~header:
+      [
+        "run"; "objs"; "pages"; "total us"; "journal"; "remap"; "mater."; "ring"; "untrk %";
+        "ttfr us";
+      ]
+    [
+      row "base" small;
+      row "cold 2x nvm" cold;
+      row "live 4x apps" big;
+    ];
+  List.iter
+    (fun (name, (r : Rto.record)) ->
+      emit_row
+        ~config:[ ("run", name); ("live_keys", string_of_int live); ("ops", string_of_int ops) ]
+        ~metrics:
+          ([
+             ("total_ns", float_of_int r.Rto.r_total_ns);
+             ("downtime_ns", float_of_int r.Rto.r_downtime_ns);
+             ("untracked_ns", float_of_int r.Rto.r_untracked_ns);
+             ("ttfr_ns", float_of_int r.Rto.r_ttfr_ns);
+             ("objects_restored", float_of_int r.Rto.r_restored_objects);
+             ("pages_restored", float_of_int r.Rto.r_pages_restored);
+             ("pre_crash_events", float_of_int (List.length r.Rto.r_pre_crash));
+           ]
+          @ List.map
+              (fun (p, ns) -> ("phase." ^ p ^ "_ns", float_of_int ns))
+              r.Rto.r_phases))
+    [ ("base", small); ("cold_2x", cold); ("live_4x", big) ];
+  emit_row
+    ~config:[ ("run", "sweep") ]
+    ~metrics:
+      ([
+         ("schedules", float_of_int schedules);
+         ("recoveries", float_of_int recoveries);
+         ("cold_ratio", cold_ratio);
+         ("live_ratio", live_ratio);
+       ]
+      @ List.concat_map
+          (fun (name, h) ->
+            [
+              (name ^ ".mean", Histogram.mean h);
+              (name ^ ".p99", float_of_int (Histogram.percentile h 99.0));
+            ])
+          (List.filter (fun (n, _) -> n = "restore.total_ns" || n = "restore.downtime_ns")
+             rto_stats))

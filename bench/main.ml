@@ -49,6 +49,8 @@ let experiments =
       ("Crash-schedule exploration: enumerate/inject/recover/verify sweep", Exp_crashtest.run) );
     ( "wear",
       ("NVM write amplification + wear telemetry: eager vs incremental walk", Exp_wear.run) );
+    ( "rto",
+      ("Recovery observability: per-phase restore time + flight recorder gates", Exp_rto.run) );
     ("smoke", ("Audit smoke: checkpoints + crash/restore under --audit (make ci)", Exp_smoke.run));
   ]
 

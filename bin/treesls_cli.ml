@@ -535,8 +535,61 @@ let metrics_cmd =
     (Cmd.info "metrics" ~doc:"Run a workload and dump the metrics registry")
     Term.(const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg $ json)
 
+let rto_cmd =
+  let module Rto = Treesls_obs.Rto in
+  let action =
+    Arg.(
+      value
+      & pos 0 (enum [ ("last", `Last) ]) `Last
+      & info [] ~docv:"ACTION" ~doc:"What to show ($(b,last): the most recent recovery)")
+  in
+  let flight =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Write the flight-recorder Perfetto timeline — the pre-crash tail of the eternal \
+             trace ring merged with the recovery phase spans, crash instant marked — to FILE")
+  in
+  let crashes =
+    Arg.(
+      value & opt int 1
+      & info [ "crash" ] ~docv:"K"
+          ~doc:"Inject K evenly spaced power failures (default 1; 0 records no recovery)")
+  in
+  let run workload ops interval seed crashes action flight json =
+    let sys = boot_configured interval in
+    (* tracing on so the flight recorder has a pre-crash tail to capture *)
+    System.enable_tracing sys;
+    drive sys ~workload ~ops ~crashes ~seed;
+    match System.last_recovery sys with
+    | None ->
+      prerr_endline "rto: no recovery recorded (need at least one crash: --crash 1)";
+      exit 1
+    | Some r ->
+      (match action with `Last -> ());
+      if json then print_endline (Rto.to_json r) else Format.printf "%a" Rto.pp r;
+      (match flight with
+      | Some path ->
+        ignore (System.export_flight_file sys ~path);
+        Printf.printf "wrote %s (open in https://ui.perfetto.dev or chrome://tracing)\n" path
+      | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "rto"
+       ~doc:
+         "Run a workload with injected power failures and report the last recovery: per-phase \
+          restore-time (RTO) breakdown, downtime, pages/objects restored vs dropped, \
+          time-to-first-request; --flight exports the crash flight-recorder timeline")
+    Term.(
+      const run $ workload_arg $ ops_arg $ interval_arg $ seed_arg $ crashes $ action $ flight
+      $ json_arg)
+
 let crashtest_cmd =
   let module C = Treesls_crashtest.Crashtest in
+  let module H = Treesls_util.Histogram in
+  let module Rto = Treesls_obs.Rto in
   let ops =
     Arg.(
       value & opt int C.default_config.C.ops
@@ -583,8 +636,12 @@ let crashtest_cmd =
         prerr_endline ("cannot parse schedule: " ^ s);
         exit 1
       | Some (cfg, point) ->
-        let outcome = C.run_one cfg point in
+        let result, _timers = C.run_one_profiled cfg point in
+        let outcome = result.C.outcome in
         Printf.printf "%s: %s\n%!" (C.reproducer cfg point) (C.outcome_to_string outcome);
+        (match result.C.recovery with
+        | Some r when C.outcome_is_pass outcome -> Format.printf "%a%!" Rto.pp r
+        | Some _ | None -> ());
         if not (C.outcome_is_pass outcome) then begin
           let small = C.shrink cfg point in
           Printf.printf "shrunk to: %s\n" (C.reproducer small point);
@@ -607,10 +664,38 @@ let crashtest_cmd =
                    (C.outcome_to_string r.C.outcome))
           |> String.concat ","
         in
+        let per_schedule =
+          sweep.C.results
+          |> List.map (fun (r : C.result) ->
+                 let base =
+                   Printf.sprintf "{\"repro\":%S,\"outcome\":%S"
+                     (C.reproducer cfg r.C.point)
+                     (C.outcome_to_string r.C.outcome)
+                 in
+                 match r.C.recovery with
+                 | None -> base ^ "}"
+                 | Some rc ->
+                   let phases =
+                     rc.Rto.r_phases
+                     |> List.map (fun (name, ns) -> Printf.sprintf "%S:%d" name ns)
+                     |> String.concat ","
+                   in
+                   Printf.sprintf
+                     "%s,\"recovery_ns\":%d,\"downtime_ns\":%d,\"untracked_ns\":%d,\"phases\":{%s}}"
+                     base rc.Rto.r_total_ns rc.Rto.r_downtime_ns rc.Rto.r_untracked_ns phases)
+          |> String.concat ","
+        in
+        let rto =
+          sweep.C.rto_stats
+          |> List.map (fun (name, h) ->
+                 Printf.sprintf "%S:{\"n\":%d,\"min_ns\":%d,\"mean_ns\":%.1f,\"p99_ns\":%d}" name
+                   (H.count h) (H.min_value h) (H.mean h) (H.percentile h 99.0))
+          |> String.concat ","
+        in
         Printf.printf
-          "{\"commit_points\":%d,\"schedules\":%d,\"commit_schedules\":%d,\"passed\":%d,\"failed\":%d,\"failures\":[%s]}\n"
+          "{\"commit_points\":%d,\"schedules\":%d,\"commit_schedules\":%d,\"passed\":%d,\"failed\":%d,\"failures\":[%s],\"per_schedule\":[%s],\"rto\":{%s}}\n"
           sweep.C.commit_points n_results sweep.C.commit_schedules sweep.C.passed
-          (List.length sweep.C.failed) failures
+          (List.length sweep.C.failed) failures per_schedule rto
       end
       else begin
         Printf.printf "trace: seed=%d ops=%d -> %d journal commit points\n" cfg.C.seed cfg.C.ops
@@ -624,7 +709,18 @@ let crashtest_cmd =
           (fun (r : C.result) ->
             Printf.printf "  FAIL %s: %s\n" (C.reproducer cfg r.C.point)
               (C.outcome_to_string r.C.outcome))
-          sweep.C.failed
+          sweep.C.failed;
+        if sweep.C.rto_stats <> [] then begin
+          Printf.printf "recovery time (RTO) across schedules, us:\n";
+          Printf.printf "  %-32s %6s %10s %10s %10s\n" "timer" "n" "min" "mean" "p99";
+          List.iter
+            (fun (name, h) ->
+              Printf.printf "  %-32s %6d %10.1f %10.1f %10.1f\n" name (H.count h)
+                (float_of_int (H.min_value h) /. 1e3)
+                (H.mean h /. 1e3)
+                (float_of_int (H.percentile h 99.0) /. 1e3))
+            sweep.C.rto_stats
+        end
       end;
       if sweep.C.failed <> [] then exit 2
   in
@@ -645,5 +741,5 @@ let () =
           (Cmd.info "treesls_cli" ~doc)
           [
             census_cmd; ckpt_cmd; run_cmd; trace_cmd; metrics_cmd; inspect_cmd; wear_cmd;
-            doctor_cmd; diff_cmd; crashtest_cmd;
+            doctor_cmd; diff_cmd; crashtest_cmd; rto_cmd;
           ]))

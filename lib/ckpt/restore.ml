@@ -8,6 +8,7 @@ module Crash_site = Treesls_nvm.Crash_site
 module Cost = Treesls_sim.Cost
 module Clock = Treesls_sim.Clock
 module Stats = Treesls_util.Stats
+module Probe = Treesls_obs.Probe
 
 exception No_checkpoint
 
@@ -88,13 +89,16 @@ let run_inner st =
   let store = Kernel.store crashed_kernel in
   let clock = Store.clock store in
   let t0 = Clock.now clock in
+  Probe.rto_phase_begin "journal_replay";
   Store.recover store;
+  Probe.rto_phase_end ();
   (* Crash sites here model a power cut during recovery itself.  Only the
      read-only prefix carries sites: journal replay and the integrity
      pre-pass are idempotent, so a second [recover] after a crash at either
      site simply starts over.  The mutating tail (oroot removal, page
      frees) is not re-entrant and stays site-free. *)
   Crash_site.hit "restore.begin";
+  Probe.rto_phase_begin "meta_validate";
   let g = Global_meta.version (Store.meta store) in
   if g = 0 then raise No_checkpoint;
   let radixes = tree_radixes st.State.crashed_root in
@@ -107,7 +111,9 @@ let run_inner st =
       | `Use keep when not (Store.verify_page store keep) ->
         raise (Corrupt_backup { pmo_id; pno; paddr = keep })
       | `Use _ | `Drop -> ());
+  Probe.rto_phase_end ();
   Crash_site.hit "restore.precheck";
+  Probe.rto_phase_begin "oroot_select";
   (* PMO ids known to the checkpoint manager before any rollback: pages of
      any other PMO found in the crashed tree are in-flight allocations. *)
   let known_pmos = Hashtbl.create 64 in
@@ -141,12 +147,14 @@ let run_inner st =
           to_drop := oid :: !to_drop)
     st.State.oroots;
   List.iter (Hashtbl.remove st.State.oroots) !to_drop;
+  Probe.rto_phase_end ();
   (* Phase 1: materialise bare objects with their original ids. *)
   let stubs : (int, Kobj.t) Hashtbl.t = Hashtbl.create 256 in
   let pages_restored = ref 0 and pages_dropped = ref 0 in
   (* Roll back page allocations of PMOs the checkpoint never saw (created
      after the last commit): the paper's comparison of the crash-time
      state against the checkpoint's state (§3, step 7). *)
+  Probe.rto_phase_begin "page_remap";
   Hashtbl.iter
     (fun pmo_id radix ->
       if not (Hashtbl.mem known_pmos pmo_id) then
@@ -162,6 +170,8 @@ let run_inner st =
             end)
           radix)
     radixes;
+  Probe.rto_phase_end ();
+  Probe.rto_phase_begin "materialize";
   List.iter
     (fun (oid, (oroot : Oroot.t), snap) ->
       let t_obj = Clock.now clock in
@@ -195,6 +205,9 @@ let run_inner st =
             List.iter (fun (pno, paddr) -> Radix.set pmo.Kobj.pmo_radix pno paddr) eternal_frames;
             Kobj.Pmo pmo
           | Kobj.Pmo_normal ->
+            (* nested: CoW/page-table reconstruction charged to its own
+               phase, subtracted from [materialize]'s exclusive time *)
+            Probe.rto_phase_begin "page_remap";
             let cps = Oroot.pages_exn oroot in
             let runtime_of pno =
               match Hashtbl.find_opt radixes oid with
@@ -241,6 +254,7 @@ let run_inner st =
                 radix
             | None -> ());
             List.iter (fun pno -> Ckpt_page.remove cps ~pno) !to_remove;
+            Probe.rto_phase_end ();
             Kobj.Pmo pmo)
         | Snapshot.S_ipc { calls; _ } ->
           let c = Kobj.make_ipc_conn ~id:oid in
@@ -262,8 +276,11 @@ let run_inner st =
       oroot.Oroot.runtime <- Some obj;
       Hashtbl.replace stubs oid obj;
       let dt = Clock.now clock - t_obj in
+      Probe.rto_note_kind (Kobj.kind_name (Kobj.kind obj)) dt;
       Stats.add (State.obj_cost st (Kobj.kind obj)).State.restore (float_of_int dt))
     !live;
+  Probe.rto_phase_end ();
+  Probe.rto_phase_begin "captree_rebuild";
   (* Phase 2: stitch references by object id. *)
   let find_stub oid = Hashtbl.find_opt stubs oid in
   List.iter
@@ -310,6 +327,8 @@ let run_inner st =
   st.State.crashed_root <- None;
   Active_list.clear st.State.active;
   Hashtbl.reset st.State.pending_fresh;
+  Probe.rto_phase_end ();
+  Probe.rto_phase_begin "oroot_gc";
   (* Redo the dead-ORoot GC the crash may have interrupted: a crash between
      the version bump and [gc_dead_oroots] leaves ORoots of objects deleted
      before [g] in the table, where they would shadow recycled ids and pin
@@ -337,6 +356,8 @@ let run_inner st =
       incr dropped;
       Hashtbl.remove st.State.oroots oid)
     dead;
+  Probe.rto_phase_end ();
+  Probe.rto_phase_begin "buddy_reconcile";
   (* Final allocator reconciliation (paper section 3, step 7: compare the
      crash-time state with the checkpoint and reclaim): free every live
      buddy block no surviving subsystem claims. The canonical orphan is a
@@ -380,6 +401,7 @@ let run_inner st =
       Store.free_page store (Paddr.nvm offset);
       pages_dropped := !pages_dropped + (1 lsl order))
     !orphans;
+  Probe.rto_phase_end ();
   {
     restored_objects = List.length !live;
     dropped_objects = !dropped;
@@ -390,7 +412,9 @@ let run_inner st =
   }
 
 let run st =
-  let module Probe = Treesls_obs.Probe in
+  (* Open the recovery profile (capturing the pre-crash flight tail)
+     before the restore span can record anything into the ring. *)
+  Probe.rto_begin_restore ();
   let tok = Probe.enter "restore" in
   match run_inner st with
   | r ->
@@ -406,7 +430,13 @@ let run st =
     Probe.count "restore.runs" 1;
     Probe.count "restore.objects" r.restored_objects;
     Probe.observe "restore.ns" r.restore_ns;
+    Probe.rto_restore_done ~version:r.version ~restored_objects:r.restored_objects
+      ~dropped_objects:r.dropped_objects ~pages_restored:r.pages_restored
+      ~pages_dropped:r.pages_dropped;
     r
   | exception e ->
+    (* failed attempt: nothing trustworthy to profile; the next attempt
+       opens a fresh profile (the crash instant is kept) *)
+    Probe.rto_abort ();
     Probe.exit tok ~args:[ ("failed", "true") ];
     raise e

@@ -55,7 +55,13 @@ let crash t = Manager.crash t.mgr
 
 let recover t =
   let report = Manager.recover t.mgr in
+  (* service re-setup (extsync ring reattach, net server rebind) is part
+     of the outage a client observes, so it is charged to the recovery
+     profile before the record is sealed *)
+  Probe.rto_phase_begin "ring_reattach";
   List.iter (fun (_, setup) -> setup t) t.services;
+  Probe.rto_phase_end ();
+  Probe.rto_recovered ();
   report
 
 let crash_and_recover t =
@@ -132,3 +138,19 @@ let export_trace_file ?pid ?tid t ~path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       output_string oc (export_trace ?pid ?tid t))
+
+(* --- recovery observability (RTO profiler / flight recorder) ----------- *)
+
+let rto t = Probe.rto t.obs
+let last_recovery t = Treesls_obs.Rto.last (Probe.rto t.obs)
+
+let export_flight t =
+  Option.map Treesls_obs.Rto.flight_to_perfetto_json (last_recovery t)
+
+let export_flight_file t ~path =
+  match export_flight t with
+  | None -> false
+  | Some json ->
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+    true

@@ -125,3 +125,24 @@ val export_trace : ?pid:int -> ?tid:int -> t -> string
 (** Chrome/Perfetto [trace_event] JSON of the retained events. *)
 
 val export_trace_file : ?pid:int -> ?tid:int -> t -> path:string -> unit
+
+(** {2 Recovery observability (RTO profiler / flight recorder)}
+
+    Per-phase restore-time breakdown and the pre-crash flight capture
+    ({!Treesls_obs.Rto}).  {!recover} charges service re-setup to the
+    profile's [ring_reattach] phase, then seals the crash-surviving
+    [last_recovery] record and emits the [restore.*] metrics family. *)
+
+val rto : t -> Treesls_obs.Rto.t
+
+val last_recovery : t -> Treesls_obs.Rto.record option
+(** The sealed record of the most recent successful recovery, if any. *)
+
+val export_flight : t -> string option
+(** Perfetto timeline merging the pre-crash trace tail with the recovery
+    phase spans (crash instant marked, both tracks named); [None] before
+    the first recovery. *)
+
+val export_flight_file : t -> path:string -> bool
+(** Write {!export_flight} to [path]; false (no file) before the first
+    recovery. *)

@@ -9,7 +9,10 @@ module Crash_site = Treesls_nvm.Crash_site
 module Snapshot = Treesls_ckpt.Snapshot
 module Audit = Treesls_audit.Audit
 module Probe = Treesls_obs.Probe
+module Metrics = Treesls_obs.Metrics
+module Rto = Treesls_obs.Rto
 module Rng = Treesls_util.Rng
+module Histogram = Treesls_util.Histogram
 
 (* ---- deterministic workload trace ------------------------------------ *)
 
@@ -244,7 +247,7 @@ let parse_reproducer s =
     | _ -> None)
   | _ -> None
 
-type result = { point : point; outcome : outcome }
+type result = { point : point; outcome : outcome; recovery : Rto.record option }
 
 type sweep = {
   config : config;
@@ -254,6 +257,9 @@ type sweep = {
   commit_schedules : int;
   passed : int;
   failed : result list;
+  rto_stats : (string * Histogram.t) list;
+      (* restore.* timers of every victim, Histogram.merge'd across
+         schedules (min/mean/p99 per phase), sorted by name *)
 }
 
 (* Evenly sample at most [k] elements of [lst] (always keeps first/last). *)
@@ -362,8 +368,11 @@ let liveness_check sys =
   with e -> Some (Printexc.to_string e)
 
 (* Run ONE schedule end to end: boot, arm, replay until the crash fires,
-   power-cut, recover, verify (audit + twin fingerprint + liveness). *)
-let run_one ?(twins = Hashtbl.create 8) cfg point =
+   power-cut, recover, verify (audit + twin fingerprint + liveness).
+   Returns the outcome plus the victim's sealed recovery record and its
+   restore.* timer histograms (live references: the victim system is
+   dropped right after, so handing them out is safe). *)
+let run_one_profiled ?(twins = Hashtbl.create 8) cfg point =
   Crash_site.reset ();
   let ops = gen_trace ~seed:cfg.seed ~ops:cfg.ops in
   let sys = System.boot () in
@@ -426,7 +435,23 @@ let run_one ?(twins = Hashtbl.create 8) cfg point =
     end
   in
   Warea.set_recovery_bug w false;
-  outcome
+  (* read RTO telemetry through the victim's own probe handle: the twin's
+     probe may be the ambient one by now (last boot wins) *)
+  let recovery = Rto.last (Probe.rto (System.obs sys)) in
+  let m = Probe.metrics (System.obs sys) in
+  let rto_timers =
+    List.filter_map
+      (fun name ->
+        if String.length name >= 8 && String.sub name 0 8 = "restore." then
+          Option.map (fun h -> (name, h)) (Metrics.histogram m name)
+        else None)
+      (Metrics.timer_names m)
+  in
+  ({ point; outcome; recovery }, rto_timers)
+
+let run_one ?twins cfg point =
+  let r, _ = run_one_profiled ?twins cfg point in
+  r.outcome
 
 (* ---- the sweep -------------------------------------------------------- *)
 
@@ -435,18 +460,34 @@ let run ?(progress = fun _ _ -> ()) cfg =
   let schedules = schedules_of_plan cfg plan in
   let twins = Hashtbl.create 16 in
   let total = List.length schedules in
+  (* Per-phase RTO aggregation: every victim's restore.* timers are merged
+     bucket-wise (Histogram.merge) into one histogram per name — the raw
+     per-schedule samples are never re-observed. *)
+  let rto_acc : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16 in
   let results =
     List.mapi
       (fun i point ->
         progress i total;
-        let outcome = run_one ~twins cfg point in
+        let r, rto_timers = run_one_profiled ~twins cfg point in
+        List.iter
+          (fun (name, h) ->
+            let acc =
+              match Hashtbl.find_opt rto_acc name with
+              | Some a -> a
+              | None ->
+                let a = Histogram.create () in
+                Hashtbl.add rto_acc name a;
+                a
+            in
+            Histogram.merge ~into:acc h)
+          rto_timers;
         Probe.count "crashtest.schedules" 1;
-        if not (outcome_is_pass outcome) then begin
+        if not (outcome_is_pass r.outcome) then begin
           Probe.count "crashtest.failed" 1;
           Probe.instant "crashtest.fail"
-            ~args:[ ("repro", reproducer cfg point); ("outcome", outcome_to_string outcome) ]
+            ~args:[ ("repro", reproducer cfg point); ("outcome", outcome_to_string r.outcome) ]
         end;
-        { point; outcome })
+        r)
       schedules
   in
   let failed = List.filter (fun r -> not (outcome_is_pass r.outcome)) results in
@@ -459,6 +500,9 @@ let run ?(progress = fun _ _ -> ()) cfg =
       List.length (List.filter (fun r -> match r.point with Commit _ -> true | _ -> false) results);
     passed = List.length results - List.length failed;
     failed;
+    rto_stats =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) rto_acc []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
   }
 
 (* ---- shrinking -------------------------------------------------------- *)

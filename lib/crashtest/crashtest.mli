@@ -117,7 +117,23 @@ val run_one : ?twins:(int, fingerprint) Hashtbl.t -> config -> point -> outcome
     verify.  [twins] caches per-version twin fingerprints across calls
     (pass the same table when running many schedules). *)
 
-type result = { point : point; outcome : outcome }
+type result = {
+  point : point;
+  outcome : outcome;
+  recovery : Treesls_obs.Rto.record option;
+      (** the victim's sealed RTO record (phase breakdown, downtime,
+          pages/objects restored); [None] only when no recovery completed
+          ([Did_not_fire], [Recovery_failed]) *)
+}
+
+val run_one_profiled :
+  ?twins:(int, fingerprint) Hashtbl.t ->
+  config ->
+  point ->
+  result * (string * Treesls_util.Histogram.t) list
+(** Like {!run_one} but also returns the victim's [restore.*] timer
+    histograms, for {!Treesls_util.Histogram.merge}-style aggregation
+    across schedules. *)
 
 type sweep = {
   config : config;
@@ -127,6 +143,10 @@ type sweep = {
   commit_schedules : int;  (** how many (commit point x phase) schedules ran *)
   passed : int;
   failed : result list;
+  rto_stats : (string * Treesls_util.Histogram.t) list;
+      (** every victim's [restore.*] timers (total/downtime/untracked and
+          per-phase), merged across all schedules without re-observing
+          raw samples; query min/mean/p99 via {!Treesls_util.Histogram} *)
 }
 
 val run : ?progress:(int -> int -> unit) -> config -> sweep

@@ -209,7 +209,14 @@ let crash t =
   t.sink <- Clock_sink
 
 let recover t =
+  let replayed0 = Warea.replayed_words t.warea in
   Warea.recover t.warea;
+  let replayed = Warea.replayed_words t.warea - replayed0 in
+  (* redo replay pays real time: read the log record plus the in-place
+     word write, so the RTO journal_replay phase scales with the words a
+     crash left in flight rather than appearing free *)
+  if replayed > 0 then
+    charge t (int_of_float (float_of_int replayed *. 2.0 *. t.cost.Cost.word_copy_nvm_ns));
   Global_meta.abort_in_flight t.meta;
   let dram_pages = Device.pages t.dram in
   t.dram_free <- List.init dram_pages (fun i -> i);

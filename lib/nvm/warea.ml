@@ -30,6 +30,7 @@ type t = {
   mutable commits : int;
   mutable points : int;
   mutable words_written : int;
+  mutable replayed_words : int;
   mutable recovery_bug : bool;
 }
 
@@ -43,6 +44,7 @@ let create ~words =
     commits = 0;
     points = 0;
     words_written = 0;
+    replayed_words = 0;
     recovery_bug = false;
   }
 
@@ -141,6 +143,7 @@ let recover t =
        words behind instead of completing the transaction. *)
     if record.complete && not t.recovery_bug then begin
       apply_all t record;
+      t.replayed_words <- t.replayed_words + Array.length record.writes;
       (* redo replay re-applies each word in place: 8 physical bytes/word,
          attributed separately so normal-run journal wear still reconciles
          with the nvm.txn.words counter *)
@@ -153,3 +156,4 @@ let in_flight t = t.log <> None
 let commits t = t.commits
 let commit_points t = t.points
 let words_written t = t.words_written
+let replayed_words t = t.replayed_words

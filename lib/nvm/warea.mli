@@ -79,6 +79,12 @@ val recover : t -> unit
 (** Journal replay after a crash: redo a fully-logged record, drop a torn
     one. Idempotent. *)
 
+val replayed_words : t -> int
+(** Cumulative words redo-replayed by {!recover} since creation — the
+    delta across one [recover] call is what [Store.recover] charges
+    simulated replay time for (and what the RTO [journal_replay] phase
+    measures). *)
+
 val set_recovery_bug : t -> bool -> unit
 (** Testing knob: when on, {!recover} deliberately skips the redo replay —
     re-introducing the classic Mid_apply recovery bug (half-applied words

@@ -36,6 +36,10 @@ let timer t name =
 let observe t name ns = Histogram.add (timer t name) ns
 
 let counter_value t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+let histogram t name = Hashtbl.find_opt t.timers name
+
+let timer_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.timers [] |> List.sort String.compare
 let gauge_value t name = match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0
 
 type timer_summary = {

@@ -21,6 +21,14 @@ val counter_value : t -> string -> int
 val gauge_value : t -> string -> int
 (** 0 when the name was never touched. *)
 
+val histogram : t -> string -> Treesls_util.Histogram.t option
+(** The live histogram behind the named timer — read-only by convention;
+    lets a harness {!Treesls_util.Histogram.merge} per-run timers into an
+    aggregate without re-observing raw samples. *)
+
+val timer_names : t -> string list
+(** Names of all timers observed so far, sorted. *)
+
 type timer_summary = {
   tm_count : int;
   tm_total_ns : int;

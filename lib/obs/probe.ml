@@ -6,6 +6,7 @@ type t = {
   metrics : Metrics.t;
   rtrace : Rtrace.t;
   wearmap : Wearmap.t;
+  rto : Rto.t;
   mutable tracing : bool;
   mutable verbose : bool;
   mutable backing_pmo : int option;
@@ -26,6 +27,7 @@ let create ?(capacity = 4096) ~clock () =
     metrics = Metrics.create ();
     rtrace = Rtrace.create ();
     wearmap = Wearmap.create ();
+    rto = Rto.create ();
     tracing = false;
     verbose = false;
     backing_pmo = None;
@@ -50,6 +52,7 @@ let backing_pmo t = t.backing_pmo
 let set_wear_backing_pmo t id = t.wear_backing_pmo <- Some id
 let wear_backing_pmo t = t.wear_backing_pmo
 let wearmap t = t.wearmap
+let rto t = t.rto
 
 let tracing_enabled () = match !current with Some t -> t.tracing | None -> false
 
@@ -92,14 +95,72 @@ let instant_v ?args name =
 let crash_mark () =
   match !current with
   | Some t ->
+    let now = Clock.now t.clock in
     (* pending requests die with the un-committed state regardless of
        whether the trace ring is recording *)
     Rtrace.on_crash t.rtrace;
+    (* the crash instant anchors the next recovery's downtime/TTFR *)
+    Rto.note_crash t.rto ~now;
     if t.tracing then begin
-      let now = Clock.now t.clock in
       Trace.abort_open t.trace ~now;
       Trace.instant t.trace ~now "crash"
     end
+  | None -> ()
+
+(* --- RTO / flight-recorder emitters ------------------------------------ *)
+
+(* Always on while a probe is installed, like metrics: the recovery
+   profiler reads the simulated clock, never advances it, and the RTO
+   observatory must not require the trace ring to be recording (without
+   tracing the flight capture is simply empty). *)
+
+let rto_begin_restore () =
+  match !current with
+  | Some t ->
+    (* capture the pre-crash ring tail before any recovery event can be
+       recorded into (and wrap events out of) the eternal ring *)
+    Rto.begin_restore t.rto ~now:(Clock.now t.clock) ~pre_crash:(Trace.events t.trace)
+  | None -> ()
+
+let rto_phase_begin name =
+  match !current with
+  | Some t -> Rto.phase_begin t.rto ~now:(Clock.now t.clock) name
+  | None -> ()
+
+let rto_phase_end () =
+  match !current with
+  | Some t -> Rto.phase_end t.rto ~now:(Clock.now t.clock)
+  | None -> ()
+
+let rto_note_kind name ns = match !current with Some t -> Rto.note_kind t.rto name ns | None -> ()
+
+let rto_restore_done ~version ~restored_objects ~dropped_objects ~pages_restored ~pages_dropped =
+  match !current with
+  | Some t ->
+    Rto.restore_done t.rto ~version ~restored_objects ~dropped_objects ~pages_restored
+      ~pages_dropped
+  | None -> ()
+
+let rto_abort () = match !current with Some t -> Rto.abort t.rto | None -> ()
+
+let rto_recovered () =
+  match !current with
+  | Some t -> (
+    match Rto.recovered t.rto ~now:(Clock.now t.clock) with
+    | None -> ()
+    | Some r ->
+      Metrics.add t.metrics "restore.recoveries" 1;
+      Metrics.set_gauge t.metrics "restore.count" (Rto.count t.rto);
+      Metrics.observe t.metrics "restore.total_ns" r.Rto.r_total_ns;
+      Metrics.observe t.metrics "restore.downtime_ns" r.Rto.r_downtime_ns;
+      Metrics.observe t.metrics "restore.untracked_ns" r.Rto.r_untracked_ns;
+      Metrics.add t.metrics "restore.objects_restored" r.Rto.r_restored_objects;
+      Metrics.add t.metrics "restore.objects_dropped" r.Rto.r_dropped_objects;
+      Metrics.add t.metrics "restore.pages_restored" r.Rto.r_pages_restored;
+      Metrics.add t.metrics "restore.pages_dropped" r.Rto.r_pages_dropped;
+      List.iter
+        (fun (name, ns) -> Metrics.observe t.metrics ("restore.phase." ^ name ^ "_ns") ns)
+        r.Rto.r_phases)
   | None -> ()
 
 (* --- request-causality emitters --------------------------------------- *)
@@ -111,7 +172,13 @@ let crash_mark () =
 
 let req_arrive ~origin =
   match !current with
-  | Some t -> Rtrace.arrive t.rtrace ~now:(Clock.now t.clock) ~origin
+  | Some t ->
+    let now = Clock.now t.clock in
+    (* first arrival after a recovery closes its time-to-first-request *)
+    (match Rto.note_first_request t.rto ~now with
+    | Some ttfr -> Metrics.observe t.metrics "restore.ttfr_ns" ttfr
+    | None -> ());
+    Rtrace.arrive t.rtrace ~now ~origin
   | None -> 0
 
 let req_current () = match !current with Some t -> Rtrace.current_id t.rtrace | None -> 0

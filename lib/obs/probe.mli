@@ -35,6 +35,10 @@ val wearmap : t -> Wearmap.t
 (** NVM write/wear telemetry (see {!Wearmap}); always collecting while
     the probe is installed, like metrics. *)
 
+val rto : t -> Rto.t
+(** Recovery profiler / crash flight recorder (see {!Rto}); always
+    collecting while the probe is installed, like metrics. *)
+
 val set_tracing : t -> bool -> unit
 val tracing : t -> bool
 val set_verbose : t -> bool -> unit
@@ -74,6 +78,42 @@ val crash_mark : unit -> unit
     called by the checkpoint manager when a power failure is injected.
     Also finalizes every pending request as dropped (see {!Rtrace.on_crash}),
     independent of whether the trace ring is recording. *)
+
+(** {2 RTO / flight-recorder emitters} — active whenever a probe is
+    installed (like metrics); they read the simulated clock but never
+    advance it.  Call sites: [Restore.run] opens/aborts/completes the
+    profile, [Restore.run_inner] brackets its phases, and
+    [System.recover] brackets service re-setup then seals the record
+    (emitting the [restore.*] metrics family). *)
+
+val rto_begin_restore : unit -> unit
+(** Open a recovery profile, capturing the pre-crash tail of the trace
+    ring for the flight recorder. *)
+
+val rto_phase_begin : string -> unit
+val rto_phase_end : unit -> unit
+(** Bracket a named restore phase (phases nest; exclusive accounting). *)
+
+val rto_note_kind : string -> int -> unit
+(** Charge materialisation nanoseconds to an object-kind name. *)
+
+val rto_restore_done :
+  version:int ->
+  restored_objects:int ->
+  dropped_objects:int ->
+  pages_restored:int ->
+  pages_dropped:int ->
+  unit
+(** [Restore.run] succeeded with this report; the profile stays open for
+    service re-setup. *)
+
+val rto_abort : unit -> unit
+(** [Restore.run] raised: discard the building profile. *)
+
+val rto_recovered : unit -> unit
+(** Seal the profile into the crash-surviving [last] record and emit the
+    [restore.*] metrics (total/downtime/untracked, per-phase timers,
+    object/page counts). *)
 
 (** {2 Request-causality emitters} — active whenever a probe is installed
     (like metrics); host-time cost only.  Call sites: [Kv_app.call] marks

@@ -171,14 +171,40 @@ let event_json ~pid ~tid b e =
       args);
   Buffer.add_string b "}}"
 
-let to_perfetto_json ?(pid = 1) ?(tid = 1) t =
+(* Perfetto metadata ("M") events name the process/thread tracks in the
+   viewer; without them every track shows a bare pid/tid number. *)
+let meta_process_name b ~pid name =
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}"
+       pid (json_escape name))
+
+let meta_thread_name b ~pid ~tid name =
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+       pid tid (json_escape name))
+
+let to_perfetto_json ?(pid = 1) ?(tid = 1) ?(proc_name = "treesls") ?(track_name = "kernel")
+    ?(req_track_name = "requests") t =
+  let evs = events t in
+  (* request-causality events get their own named track so the rtrace
+     timeline is separable from the checkpoint pipeline in the UI *)
+  let has_req = List.exists (fun e -> e.cat = "req") evs in
+  let req_tid = tid + 1 in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
-  List.iteri
-    (fun i e ->
-      if i > 0 then Buffer.add_char b ',';
-      event_json ~pid ~tid b e)
-    (events t);
+  meta_process_name b ~pid proc_name;
+  Buffer.add_char b ',';
+  meta_thread_name b ~pid ~tid track_name;
+  if has_req then begin
+    Buffer.add_char b ',';
+    meta_thread_name b ~pid ~tid:req_tid req_track_name
+  end;
+  List.iter
+    (fun e ->
+      Buffer.add_char b ',';
+      event_json ~pid ~tid:(if e.cat = "req" then req_tid else tid) b e)
+    evs;
   Buffer.add_string b "]}";
   Buffer.contents b
 

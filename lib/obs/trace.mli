@@ -78,11 +78,34 @@ val capacity : t -> int
 val open_spans : t -> int
 val clear : t -> unit
 
-val to_perfetto_json : ?pid:int -> ?tid:int -> t -> string
+val to_perfetto_json :
+  ?pid:int ->
+  ?tid:int ->
+  ?proc_name:string ->
+  ?track_name:string ->
+  ?req_track_name:string ->
+  t ->
+  string
 (** Chrome/Perfetto [trace_event] JSON ([{"traceEvents":[...]}]): spans as
     ["ph":"X"] complete events, instants as ["ph":"i"], flows as
     ["ph":"s"]/["ph":"f"]; [ts]/[dur] in microseconds with nanosecond
-    precision.  Load in Perfetto UI or [chrome://tracing]. *)
+    precision.  The stream is prefixed with ["ph":"M"] metadata events
+    naming the process ([proc_name], default ["treesls"]) and the main
+    track ([track_name], default ["kernel"]); request-causality events
+    (category ["req"]) are routed to their own track [tid+1] named
+    [req_track_name] (default ["requests"]) when present.  Load in
+    Perfetto UI or [chrome://tracing]. *)
+
+val event_json : pid:int -> tid:int -> Buffer.t -> event -> unit
+(** Append one event's trace_event JSON object (no surrounding comma) —
+    the building block {!to_perfetto_json} uses, exported so the RTO
+    flight recorder can re-emit captured pre-crash events onto its own
+    track. *)
+
+val meta_process_name : Buffer.t -> pid:int -> string -> unit
+val meta_thread_name : Buffer.t -> pid:int -> tid:int -> string -> unit
+(** Append a Perfetto ["ph":"M"] [process_name]/[thread_name] metadata
+    event (no surrounding comma). *)
 
 val pp_event : Format.formatter -> event -> unit
 

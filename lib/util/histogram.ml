@@ -77,6 +77,23 @@ let percentile t p =
     if !result > t.maxv then t.maxv else !result
   end
 
+let merge ~into src =
+  if into.sub_buckets <> src.sub_buckets then
+    invalid_arg
+      (Printf.sprintf "Histogram.merge: sub_buckets mismatch (%d vs %d)" into.sub_buckets
+         src.sub_buckets);
+  for i = 0 to Array.length src.counts - 1 do
+    if src.counts.(i) > 0 then begin
+      into.counts.(i) <- into.counts.(i) + src.counts.(i);
+      if src.bucket_max.(i) > into.bucket_max.(i) then into.bucket_max.(i) <- src.bucket_max.(i);
+      if src.bucket_min.(i) < into.bucket_min.(i) then into.bucket_min.(i) <- src.bucket_min.(i)
+    end
+  done;
+  into.n <- into.n + src.n;
+  into.sum <- into.sum + src.sum;
+  if src.maxv > into.maxv then into.maxv <- src.maxv;
+  if src.n > 0 && src.minv < into.minv then into.minv <- src.minv
+
 let clear t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   Array.fill t.bucket_max 0 (Array.length t.bucket_max) 0;

@@ -33,4 +33,13 @@ val max_value : t -> int
 val min_value : t -> int
 (** Smallest recorded value; 0 when empty. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds every sample recorded in [src] into [into]
+    without re-observing the raw values: bucket counts are summed and the
+    per-bucket (and global) min/max are combined, so count/total/mean and
+    every percentile of [into] afterwards equal those of a histogram that
+    had observed both sample streams directly.  [src] is unchanged.
+    Raises [Invalid_argument] if the two histograms were created with
+    different [sub_buckets]. *)
+
 val clear : t -> unit

@@ -26,7 +26,25 @@ let clean_sweep () =
   check_bool "some commit schedules ran" true (sweep.C.commit_schedules > 0);
   check_bool "checkpoint sites were hit" true (sweep.C.site_hits <> []);
   check_int "no failures" 0 (List.length sweep.C.failed);
-  check_int "all schedules passed" (List.length sweep.C.results) sweep.C.passed
+  check_int "all schedules passed" (List.length sweep.C.results) sweep.C.passed;
+  (* every passing schedule seals an RTO record with an exact phase sum *)
+  let module Rto = Treesls_obs.Rto in
+  let recoveries = ref 0 in
+  List.iter
+    (fun (r : C.result) ->
+      match r.C.recovery with
+      | None -> Alcotest.failf "passing schedule %s has no recovery" (C.point_to_string r.C.point)
+      | Some rc ->
+        incr recoveries;
+        check_bool "recovery total positive" true (rc.Rto.r_total_ns > 0);
+        check_int "phase sum exact" rc.Rto.r_total_ns
+          (List.fold_left (fun a (_, ns) -> a + ns) 0 rc.Rto.r_phases + rc.Rto.r_untracked_ns))
+    sweep.C.results;
+  (* and the merged restore.* histograms carry one sample per recovery *)
+  check_bool "rto_stats populated" true (sweep.C.rto_stats <> []);
+  match List.assoc_opt "restore.total_ns" sweep.C.rto_stats with
+  | None -> Alcotest.fail "restore.total_ns missing from rto_stats"
+  | Some h -> check_int "one sample per recovery" !recoveries (Treesls_util.Histogram.count h)
 
 (* Acceptance demo: re-introduce the classic journal-replay bug (recovery
    skips the redo), and the sweep MUST report failures — specifically on

@@ -212,7 +212,23 @@ let perfetto_json_wellformed () =
   Trace.end_span tr ~now:2_000 a;
   Trace.complete tr "ckpt.hybrid_copy" ~ts_ns:1_100 ~dur_ns:700;
   let j = parse_json (Trace.to_perfetto_json ~pid:7 ~tid:3 tr) in
-  let evs = match obj_field "traceEvents" j with JArr l -> l | _ -> Alcotest.fail "array" in
+  let all = match obj_field "traceEvents" j with JArr l -> l | _ -> Alcotest.fail "array" in
+  (* the stream opens with metadata ("M") events naming the tracks *)
+  let meta, evs = List.partition (fun e -> str (obj_field "ph" e) = "M") all in
+  check_int "two metadata events (no req track here)" 2 (List.length meta);
+  check_bool "process named" true
+    (List.exists
+       (fun e ->
+         str (obj_field "name" e) = "process_name"
+         && str (obj_field "name" (obj_field "args" e)) = "treesls")
+       meta);
+  check_bool "main track named" true
+    (List.exists
+       (fun e ->
+         str (obj_field "name" e) = "thread_name"
+         && int_of_float (num (obj_field "tid" e)) = 3
+         && str (obj_field "name" (obj_field "args" e)) = "kernel")
+       meta);
   check_int "three events" 3 (List.length evs);
   List.iter
     (fun e ->
@@ -540,6 +556,161 @@ let disabled_tracing_is_free () =
   check_bool "enabled records events" true (Trace.length (System.trace sys_traced) > 0);
   check_int "tracing costs no simulated time" t_plain t_traced
 
+(* ---- rto: recovery observability (profiler + flight recorder) ---- *)
+
+module Rto = Treesls_obs.Rto
+
+let boot_live () =
+  let sys = System.boot ~interval_us:1000 () in
+  System.enable_tracing sys;
+  let app = Kv_app.launch ~keys_hint:2_000 sys Kv_app.Memcached in
+  for i = 0 to 199 do
+    Kv_app.set_i app i;
+    ignore (System.tick sys)
+  done;
+  ignore (System.checkpoint sys);
+  (sys, app)
+
+let phase_sum (r : Rto.record) = List.fold_left (fun a (_, ns) -> a + ns) 0 r.Rto.r_phases
+
+let rto_phase_sum_exact () =
+  let sys, app = boot_live () in
+  ignore (System.crash_and_recover sys);
+  Kv_app.refresh app;
+  match System.last_recovery sys with
+  | None -> Alcotest.fail "no recovery sealed"
+  | Some r ->
+    check_bool "total positive" true (r.Rto.r_total_ns > 0);
+    check_int "exclusive phases + untracked = total exactly" r.Rto.r_total_ns
+      (phase_sum r + r.Rto.r_untracked_ns);
+    check_bool "untracked <= 1% of total" true
+      (float_of_int r.Rto.r_untracked_ns <= 0.01 *. float_of_int r.Rto.r_total_ns);
+    check_bool "objects restored" true (r.Rto.r_restored_objects > 0);
+    check_bool "downtime covers the restore" true (r.Rto.r_downtime_ns >= r.Rto.r_total_ns);
+    (* the sealed record feeds the restore.* metrics family *)
+    let m = Probe.metrics (System.obs sys) in
+    (match Metrics.histogram m "restore.total_ns" with
+    | Some h ->
+      check_int "restore.total_ns observed once" 1 (Treesls_util.Histogram.count h);
+      check_int "restore.total_ns = record" r.Rto.r_total_ns
+        (Treesls_util.Histogram.max_value h)
+    | None -> Alcotest.fail "restore.total_ns timer missing");
+    check_bool "every phase has a timer" true
+      (List.for_all
+         (fun (p, _) -> Metrics.histogram m ("restore.phase." ^ p ^ "_ns") <> None)
+         r.Rto.r_phases)
+
+let rto_ttfr () =
+  let sys, app = boot_live () in
+  ignore (System.crash_and_recover sys);
+  Kv_app.refresh app;
+  let r = Option.get (System.last_recovery sys) in
+  check_bool "ttfr unknown before any request" true (r.Rto.r_ttfr_ns < 0);
+  Kv_app.set_i app 0;
+  check_bool "first request seals ttfr" true (r.Rto.r_ttfr_ns >= r.Rto.r_downtime_ns);
+  let ttfr = r.Rto.r_ttfr_ns in
+  Kv_app.set_i app 1;
+  check_int "later requests don't move it" ttfr r.Rto.r_ttfr_ns
+
+let rto_flight_roundtrip () =
+  let sys, app = boot_live () in
+  Probe.instant ~args:[ ("w", "1") ] "test.flight_witness";
+  ignore (System.crash_and_recover sys);
+  Kv_app.refresh app;
+  let flight =
+    match System.export_flight sys with Some f -> f | None -> Alcotest.fail "no flight export"
+  in
+  let j = parse_json flight in
+  let all = match obj_field "traceEvents" j with JArr l -> l | _ -> Alcotest.fail "array" in
+  let meta, evs = List.partition (fun e -> str (obj_field "ph" e) = "M") all in
+  let thread_named tid name =
+    List.exists
+      (fun e ->
+        str (obj_field "name" e) = "thread_name"
+        && int_of_float (num (obj_field "tid" e)) = tid
+        && str (obj_field "name" (obj_field "args" e)) = name)
+      meta
+  in
+  check_bool "pre-crash track named" true (thread_named 1 "pre-crash");
+  check_bool "recovery track named" true (thread_named 2 "recovery");
+  let tid e = int_of_float (num (obj_field "tid" e)) in
+  (* exactly one crash-instant marker, on the recovery track *)
+  (match
+     List.filter
+       (fun e ->
+         str (obj_field "ph" e) = "i"
+         && str (obj_field "name" e) = "crash"
+         && (match obj_field "args" e with
+            | JObj fields -> List.assoc_opt "marker" fields = Some (JStr "flight")
+            | _ -> false))
+       evs
+   with
+  | [ m ] -> check_int "marker on recovery track" 2 (tid m)
+  | l -> Alcotest.failf "expected 1 flight crash marker, got %d" (List.length l));
+  (* the recovery span and its rto.<phase> children live on track 2 *)
+  let recov =
+    List.filter (fun e -> str (obj_field "ph" e) = "X" && str (obj_field "name" e) = "recovery") evs
+  in
+  check_int "one recovery span" 1 (List.length recov);
+  check_int "recovery span on track 2" 2 (tid (List.hd recov));
+  check_bool "per-phase child spans present" true
+    (List.exists
+       (fun e ->
+         let n = str (obj_field "name" e) in
+         String.length n > 4 && String.sub n 0 4 = "rto." && tid e = 2)
+       evs);
+  (* the pre-crash witness rode along on track 1 *)
+  (match List.filter (fun e -> str (obj_field "name" e) = "test.flight_witness") evs with
+  | [ w ] -> check_int "witness on pre-crash track" 1 (tid w)
+  | l -> Alcotest.failf "expected 1 witness, got %d" (List.length l))
+
+(* Satellite: the eternal trace ring reattaches across N >= 3 consecutive
+   crash/restore cycles with no duplicated, truncated or reordered
+   pre-crash events — checked both in the live ring and in the final
+   flight capture. *)
+let rto_ring_survives_cycles () =
+  let sys, app = boot_live () in
+  let cycles = 3 in
+  for cycle = 1 to cycles do
+    Probe.instant ~args:[ ("cycle", string_of_int cycle) ] "test.cycle_witness";
+    ignore (System.crash_and_recover sys);
+    Kv_app.refresh app;
+    (* some post-recovery work so later cycles crash a different state *)
+    for i = 0 to 49 do
+      Kv_app.set_i app i;
+      ignore (System.tick sys)
+    done;
+    let ws = find_events (System.trace sys) "test.cycle_witness" in
+    check_int
+      (Printf.sprintf "cycle %d: every witness present exactly once" cycle)
+      cycle (List.length ws);
+    List.iteri
+      (fun i (e : Trace.event) ->
+        Alcotest.(check (option string))
+          (Printf.sprintf "cycle %d: witness %d in order" cycle (i + 1))
+          (Some (string_of_int (i + 1)))
+          (List.assoc_opt "cycle" e.Trace.args))
+      ws;
+    let seqs = List.map (fun (e : Trace.event) -> e.Trace.seq) ws in
+    check_bool "witness seqs strictly increasing" true (List.sort compare seqs = seqs);
+    check_int "recovery index tracks cycles" cycle
+      (Option.get (System.last_recovery sys)).Rto.r_index
+  done;
+  check_int "profiler counted every recovery" cycles (Rto.count (System.rto sys));
+  (* the last flight capture holds all three witnesses, in order *)
+  let r = Option.get (System.last_recovery sys) in
+  let pre =
+    List.filter (fun (e : Trace.event) -> e.Trace.name = "test.cycle_witness") r.Rto.r_pre_crash
+  in
+  check_int "flight capture has all witnesses" cycles (List.length pre);
+  List.iteri
+    (fun i (e : Trace.event) ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "flight witness %d in order" (i + 1))
+        (Some (string_of_int (i + 1)))
+        (List.assoc_opt "cycle" e.Trace.args))
+    pre
+
 let () =
   Alcotest.run "obs"
     [
@@ -569,5 +740,13 @@ let () =
           Alcotest.test_case "spans reconcile with Report" `Quick reconcile_with_report;
           Alcotest.test_case "verbose tier gating" `Quick verbose_tier;
           Alcotest.test_case "disabled tracing is free" `Quick disabled_tracing_is_free;
+        ] );
+      ( "rto",
+        [
+          Alcotest.test_case "exclusive phase sum is exact" `Quick rto_phase_sum_exact;
+          Alcotest.test_case "time to first request" `Quick rto_ttfr;
+          Alcotest.test_case "flight export round-trips" `Quick rto_flight_roundtrip;
+          Alcotest.test_case "trace ring survives 3 crash cycles" `Quick
+            rto_ring_survives_cycles;
         ] );
     ]

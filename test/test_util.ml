@@ -242,6 +242,51 @@ let hist_clear () =
   check_int "count" 0 (Histogram.count h);
   check_int "max" 0 (Histogram.max_value h)
 
+(* merge ~into must be indistinguishable from having observed both sample
+   streams directly: counts, totals, mean, min/max, every percentile *)
+let hist_merge_equals_direct () =
+  let rng = Treesls_util.Rng.create 99L in
+  let stream_a = List.init 500 (fun _ -> Treesls_util.Rng.int rng 1_000_000) in
+  let stream_b = List.init 300 (fun _ -> 1 + Treesls_util.Rng.int rng 500) in
+  let a = Histogram.create () and b = Histogram.create () and direct = Histogram.create () in
+  List.iter (Histogram.add a) stream_a;
+  List.iter (Histogram.add b) stream_b;
+  List.iter (Histogram.add direct) (stream_a @ stream_b);
+  Histogram.merge ~into:a b;
+  check_int "count" (Histogram.count direct) (Histogram.count a);
+  check_int "total" (Histogram.total direct) (Histogram.total a);
+  check_float "mean" (Histogram.mean direct) (Histogram.mean a);
+  check_int "min" (Histogram.min_value direct) (Histogram.min_value a);
+  check_int "max" (Histogram.max_value direct) (Histogram.max_value a);
+  List.iter
+    (fun p ->
+      check_int
+        (Printf.sprintf "p%.1f" p)
+        (Histogram.percentile direct p) (Histogram.percentile a p))
+    [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 99.9; 100.0 ];
+  (* src is unchanged *)
+  check_int "src count" (List.length stream_b) (Histogram.count b)
+
+let hist_merge_empty_cases () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a 7;
+  (* empty source: no-op *)
+  Histogram.merge ~into:a b;
+  check_int "count after empty src" 1 (Histogram.count a);
+  check_int "min preserved" 7 (Histogram.min_value a);
+  (* empty destination: becomes a copy of the source's distribution *)
+  Histogram.merge ~into:b a;
+  check_int "empty dst count" 1 (Histogram.count b);
+  check_int "empty dst min" 7 (Histogram.min_value b);
+  check_int "empty dst p50" 7 (Histogram.percentile b 50.0)
+
+let hist_merge_mismatched_buckets () =
+  let a = Histogram.create ~sub_buckets:16 () in
+  let b = Histogram.create ~sub_buckets:32 () in
+  Alcotest.check_raises "sub_buckets mismatch"
+    (Invalid_argument "Histogram.merge: sub_buckets mismatch (16 vs 32)") (fun () ->
+      Histogram.merge ~into:a b)
+
 (* ---- Bits ---- *)
 
 let bits_log2 () =
@@ -371,6 +416,9 @@ let () =
           Alcotest.test_case "percentile is a recorded value" `Quick
             hist_percentile_is_recorded_value;
           Alcotest.test_case "clear" `Quick hist_clear;
+          Alcotest.test_case "merge equals direct observation" `Quick hist_merge_equals_direct;
+          Alcotest.test_case "merge empty cases" `Quick hist_merge_empty_cases;
+          Alcotest.test_case "merge mismatched sub_buckets" `Quick hist_merge_mismatched_buckets;
         ] );
       ( "bits",
         [
