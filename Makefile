@@ -22,16 +22,33 @@ fmt:
 		echo "fmt: ocamlformat not installed; skipping (hand-format per README)"; \
 	fi
 
+# Where a CI run drops its freshly generated BENCH_<exp>.json files before
+# comparing them against the committed copies at the repo root.
+BENCH_FRESH := _build/bench-fresh
+
+# Regenerate the CI-scale BENCH files into $(BENCH_FRESH) (committed
+# copies stay untouched until `make ci` promotes them).
+bench-fresh:
+	rm -rf $(BENCH_FRESH) && mkdir -p $(BENCH_FRESH)
+	dune exec bench/main.exe -- --exp extsync_lat --smoke --json-dir $(BENCH_FRESH)
+	dune exec bench/main.exe -- --exp incr_walk --smoke --audit --json-dir $(BENCH_FRESH)
+	dune exec bench/main.exe -- --exp crashtest --smoke --json-dir $(BENCH_FRESH)
+	dune exec bench/main.exe -- --exp wear --smoke --audit --json-dir $(BENCH_FRESH)
+	dune exec bench/main.exe -- --exp rto --smoke --audit --json-dir $(BENCH_FRESH)
+	dune exec bench/main.exe -- --exp adaptive --smoke --json-dir $(BENCH_FRESH)
+
+# Per-metric deltas of the fresh results vs the committed copies
+# (informational; the self-gating experiments above are what fail).
+bench-diff: bench-fresh
+	dune exec bench/bench_diff.exe $(BENCH_FRESH) .
+
 ci:
 	dune build @all
 	dune runtest
 	$(MAKE) fmt
 	dune exec bench/main.exe -- --exp smoke --audit
-	dune exec bench/main.exe -- --exp extsync_lat --smoke --json BENCH_extsync_lat.json
-	dune exec bench/main.exe -- --exp incr_walk --smoke --audit --json-dir .
-	dune exec bench/main.exe -- --exp crashtest --smoke --json-dir .
-	dune exec bench/main.exe -- --exp wear --smoke --audit --json-dir .
-	dune exec bench/main.exe -- --exp rto --smoke --audit --json-dir .
+	$(MAKE) bench-diff
+	cp $(BENCH_FRESH)/BENCH_*.json .
 
 # Full evaluation sweep; drops one BENCH_<exp>.json per experiment.
 bench:
@@ -41,4 +58,4 @@ bench:
 bench-audit:
 	dune exec bench/main.exe -- --audit
 
-.PHONY: all test fmt ci bench bench-audit
+.PHONY: all test fmt ci bench bench-fresh bench-diff bench-audit

@@ -20,13 +20,14 @@ module Sqlite = Treesls_apps.Sqlite
 module Phoenix = Treesls_apps.Phoenix
 module Kvstore = Treesls_apps.Kvstore
 
-let features ?(incr = true) ~ckpt ~track ~copy ~hybrid () =
+let features ?(incr = true) ?(adaptive = false) ~ckpt ~track ~copy ~hybrid () =
   {
     State.ckpt_enabled = ckpt;
     track_dirty = track;
     copy_on_fault = copy;
     hybrid;
     incremental_walk = incr;
+    adaptive_interval = adaptive;
   }
 
 let full_features () = features ~ckpt:true ~track:true ~copy:true ~hybrid:true ()
@@ -57,8 +58,9 @@ let audit_or_die sys ~where =
     exit 2
   end
 
-let boot ?(interval_us = 1000) ?(features = full_features ()) ?(nvm_pages = 1 lsl 16) () =
-  let sys = System.boot ~interval_us ~features ~nvm_pages () in
+let boot ?(interval_us = 1000) ?(features = full_features ()) ?(nvm_pages = 1 lsl 16)
+    ?adaptive_cfg () =
+  let sys = System.boot ~interval_us ~features ~nvm_pages ?adaptive_cfg () in
   if !trace_out <> None then begin
     System.enable_tracing ~verbose:!trace_verbose sys;
     traced_sys := Some sys

@@ -51,6 +51,9 @@ let experiments =
       ("NVM write amplification + wear telemetry: eager vs incremental walk", Exp_wear.run) );
     ( "rto",
       ("Recovery observability: per-phase restore time + flight recorder gates", Exp_rto.run) );
+    ( "adaptive",
+      ("Adaptive checkpoint interval vs statics on a bursty workload (SLO gate)", Exp_adaptive.run)
+    );
     ("smoke", ("Audit smoke: checkpoints + crash/restore under --audit (make ci)", Exp_smoke.run));
   ]
 

@@ -17,6 +17,10 @@
      treesls_cli wear --heatmap wear.csv     ... full per-page heatmap as CSV
      treesls_cli wear --json                 ... totals/subsystems/top pages as JSON
      treesls_cli doctor -w redis --crash 2   audit the persisted state (slsfsck)
+     treesls_cli doctor --strict             ... exit 1 on warnings or SLO alerts too
+     treesls_cli tseries -w redis --crash 1  crash-surviving metrics time-series (black box)
+     treesls_cli tseries --csv bb.csv --perfetto bb.json    ... export it
+     treesls_cli slo --rule "p99(enq2vis) < 2*interval"     watch an SLO rule over a run
      treesls_cli diff -w sqlite -n 3000      explain the last two checkpoint versions
      treesls_cli crashtest                   sweep every crash schedule of a smoke trace
      treesls_cli crashtest --schedule "seed=42;ops=280;commit:57:mid_apply"
@@ -303,20 +307,158 @@ let inspect_cmd =
     Term.(const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg $ json_arg)
 
 let doctor_cmd =
-  let run workload ops interval crashes seed json =
+  let module Slo = Treesls_obs.Slo in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Treat warning-severity findings as failures: exit 1 when the audit reports \
+             warnings (wear health) or the SLO watchdog fired alerts during the run. \
+             Error-severity violations still exit 2.")
+  in
+  let run workload ops interval crashes seed strict json =
     let sys = boot_configured interval in
     drive sys ~workload ~ops ~crashes ~seed;
     let r = System.audit ~wear:Audit.default_wear_thresholds sys in
-    if json then print_endline (Audit.to_json r) else Format.printf "%a@." Audit.pp r;
-    if Audit.errors r > 0 then exit 2
+    let slo = System.slo sys in
+    if json then begin
+      print_endline (Audit.to_json r);
+      print_endline (Slo.to_json slo)
+    end
+    else begin
+      Format.printf "%a@." Audit.pp r;
+      Format.printf "%a@." Slo.pp slo
+    end;
+    if Audit.errors r > 0 then exit 2;
+    if strict && (Audit.warnings r > 0 || Slo.alerts_total slo > 0) then exit 1
   in
   Cmd.v
     (Cmd.info "doctor"
        ~doc:
          "Run a workload, then audit the persisted state against the checkpoint invariants \
           (slsfsck) plus warning-severity wear-health checks (write amplification, wear \
-          skew, unattributed NVM writes); exits 2 on any error-severity violation")
-    Term.(const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg $ json_arg)
+          skew, unattributed NVM writes) and the SLO watchdog's health report; exits 2 on \
+          any error-severity violation, and with $(b,--strict) exits 1 on warnings or SLO \
+          alerts")
+    Term.(
+      const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg $ strict
+      $ json_arg)
+
+let tseries_cmd =
+  let module Tseries = Treesls_obs.Tseries in
+  let last =
+    Arg.(
+      value & opt int 10
+      & info [ "last" ] ~docv:"N" ~doc:"Print the newest N samples (0 = none)")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the full retained window as CSV (seq,version,ts_ns,columns...) to FILE")
+  in
+  let perfetto =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Write a Perfetto counter-track export (one ph:\"C\" event per retained sample) \
+             to FILE")
+  in
+  let run workload ops interval crashes seed last csv perfetto json =
+    let sys = boot_configured interval in
+    (* price the black box's NVM residency like the trace ring's *)
+    System.ensure_tseries_backing sys;
+    drive sys ~workload ~ops ~crashes ~seed;
+    let ts = System.tseries sys in
+    if json then print_endline (Tseries.to_json ~last ts)
+    else begin
+      Printf.printf
+        "black box: %d samples recorded, %d retained (capacity %d), %d columns (%d dropped)\n"
+        (Tseries.total ts) (Tseries.length ts) (Tseries.capacity ts) (Tseries.column_count ts)
+        (Tseries.cols_dropped ts);
+      (match (Tseries.latest ts, Tseries.percentile_over ts "ckpt.stw_ns" ~n:64 ~p:99.0) with
+      | Some s, Some stw_p99 ->
+        Printf.printf "newest: seq %d v%d at %.3fms; stw p99 over last 64 commits: %.1fus\n"
+          s.Tseries.sp_seq s.Tseries.sp_version
+          (float_of_int s.Tseries.sp_ts_ns /. 1e6)
+          (float_of_int stw_p99 /. 1e3)
+      | _ -> ());
+      if last > 0 then Format.printf "%a@." (Tseries.pp ~last) ts
+    end;
+    (match csv with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Tseries.to_csv ts);
+      close_out oc;
+      Printf.printf "wrote %s (one line per retained sample)\n" path
+    | None -> ());
+    match perfetto with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Tseries.to_perfetto_json ts);
+      close_out oc;
+      Printf.printf "wrote %s (open in https://ui.perfetto.dev; %d counter points)\n" path
+        (Tseries.counter_points ts)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "tseries"
+       ~doc:
+         "Run a workload and dump the crash-surviving metrics time-series (the \"black \
+          box\"): one fixed-width sample per checkpoint commit, retained in a ring that \
+          survives the power failures injected with --crash. Exports: $(b,--csv) the \
+          retained window, $(b,--perfetto) a counter-track timeline, $(b,--json) the \
+          structured dump.")
+    Term.(
+      const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg $ last $ csv
+      $ perfetto $ json_arg)
+
+let slo_cmd =
+  let module Slo = Treesls_obs.Slo in
+  let rules_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "rule" ] ~docv:"RULE"
+          ~doc:
+            "Watch this rule instead of the defaults (repeatable), e.g. \
+             $(b,\"p99(enq2vis) < 2*interval\") or $(b,\"waf < 3\"). See the rule grammar in \
+             DESIGN.md section 15.")
+  in
+  let run workload ops interval crashes seed rule_texts json =
+    let sys = boot_configured interval in
+    let slo = System.slo sys in
+    (* replace the rule set before driving so the watchdog evaluates it at
+       every commit of the run *)
+    if rule_texts <> [] then begin
+      let rules =
+        List.map
+          (fun s ->
+            match Slo.rule_of_string s with
+            | Ok r -> r
+            | Error e ->
+              Printf.eprintf "slo: cannot parse rule %S: %s\n" s e;
+              exit 1)
+          rule_texts
+      in
+      Slo.set_rules slo rules
+    end;
+    drive sys ~workload ~ops ~crashes ~seed;
+    if json then print_endline (Slo.to_json slo) else Format.printf "%a@." Slo.pp slo;
+    if not (Slo.healthy slo) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Run a workload under the SLO watchdog and print its health report: per-rule \
+          evaluations, fires and the retained alert log. Rules are evaluated against the \
+          black-box sample of every checkpoint commit; exits 1 if any rule fired.")
+    Term.(
+      const run $ workload_arg $ ops_arg $ interval_arg $ crashes_arg $ seed_arg $ rules_arg
+      $ json_arg)
 
 let wear_cmd =
   let module Wearmap = Treesls_obs.Wearmap in
@@ -741,5 +883,5 @@ let () =
           (Cmd.info "treesls_cli" ~doc)
           [
             census_cmd; ckpt_cmd; run_cmd; trace_cmd; metrics_cmd; inspect_cmd; wear_cmd;
-            doctor_cmd; diff_cmd; crashtest_cmd; rto_cmd;
+            doctor_cmd; diff_cmd; crashtest_cmd; rto_cmd; tseries_cmd; slo_cmd;
           ]))

@@ -545,5 +545,9 @@ let run st =
   Probe.gauge "nvm.pages_touched" (Store.nvm_pages_touched store);
   Probe.gauge "dram.pages_touched" (Store.dram_pages_touched store);
   Probe.wear_counter_sample ();
+  (* black-box sample last, once every post-commit gauge above is in the
+     registry: one tseries sample per committed version, then the SLO
+     watchdog and the adaptive-interval feedback hook *)
+  Probe.tseries_sample ~version:new_ver ~stw_ns ~interval_ns:st.State.interval_ns;
   st.State.last_report <- Some report;
   report

@@ -56,13 +56,18 @@ let interval t = t.st.State.interval_ns
 let tick t =
   match t.st.State.interval_ns with
   | None -> None
-  | Some n ->
+  | Some _ ->
     if
       t.st.State.features.State.ckpt_enabled
       && Clock.now (Kernel.clock (kernel t)) >= t.st.State.next_ckpt_at
     then begin
       let r = Checkpoint.run t.st in
-      t.st.State.next_ckpt_at <- Clock.now (Kernel.clock (kernel t)) + n;
+      (* re-read: the adaptive controller may retune the interval from
+         the post-commit sample hook, and the next deadline must use the
+         retuned value *)
+      (match t.st.State.interval_ns with
+      | Some n -> t.st.State.next_ckpt_at <- Clock.now (Kernel.clock (kernel t)) + n
+      | None -> ());
       Some r
     end
     else None

@@ -8,6 +8,7 @@ type features = {
   mutable copy_on_fault : bool;
   mutable hybrid : bool;
   mutable incremental_walk : bool;
+  mutable adaptive_interval : bool;
 }
 
 type obj_cost = { full : Stats.t; incr : Stats.t; restore : Stats.t }
@@ -40,6 +41,7 @@ let default_features () =
     copy_on_fault = true;
     hybrid = true;
     incremental_walk = true;
+    adaptive_interval = false;
   }
 
 let create kernel active_cfg features =

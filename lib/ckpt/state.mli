@@ -16,6 +16,10 @@ type features = {
   mutable hybrid : bool;  (** hybrid copy: hot-page DRAM cache + stop-and-copy *)
   mutable incremental_walk : bool;
       (** skip clean objects (generation unchanged) during the STW walk *)
+  mutable adaptive_interval : bool;
+      (** let the PID-style controller retune the checkpoint interval
+          against a latency SLO at every commit (default off; see
+          {!Interval_ctl}) *)
 }
 
 type obj_cost = {

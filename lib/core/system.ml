@@ -7,20 +7,44 @@ module Probe = Treesls_obs.Probe
 module Trace = Treesls_obs.Trace
 module Metrics = Treesls_obs.Metrics
 
+module Interval_ctl = Treesls_ckpt.Interval_ctl
+
 type t = {
   mgr : Manager.t;
   obs : Probe.t;
+  ctl : Interval_ctl.t;
   mutable services : (string * (t -> unit)) list;
 }
 
+(* Feedback edge of the adaptive-interval controller: runs from the
+   probe's post-sample hook, i.e. inside Checkpoint.run after the
+   black-box sample and SLO check; Manager.tick re-reads the interval
+   after the run so the retuned value arms the next deadline. *)
+let adaptive_on_sample t =
+  if (Manager.features t.mgr).Treesls_ckpt.State.adaptive_interval then
+    match Manager.interval t.mgr with
+    | None -> ()
+    | Some interval_ns -> (
+      match Interval_ctl.on_sample t.ctl (Probe.tseries t.obs) ~interval_ns with
+      | Some ns ->
+        Manager.set_interval t.mgr (Some ns);
+        Probe.gauge "ckpt.interval_ns" ns;
+        Probe.count "ckpt.adaptive.retunes" 1
+      | None -> ())
+
 let boot ?cost ?ncores ?nvm_pages ?dram_pages ?interval_us ?features ?active_cfg
-    ?trace_capacity () =
+    ?trace_capacity ?tseries_capacity ?adaptive_cfg () =
   let kernel = Kernel.boot ?cost ?ncores ?nvm_pages ?dram_pages () in
   let mgr = Manager.attach ?active_cfg ?features kernel in
   (match interval_us with Some us -> Manager.set_interval mgr (Some (us * 1000)) | None -> ());
-  let obs = Probe.create ?capacity:trace_capacity ~clock:(Kernel.clock kernel) () in
+  let obs = Probe.create ?capacity:trace_capacity ?tseries_capacity ~clock:(Kernel.clock kernel) () in
   Probe.install obs;
-  { mgr; obs; services = [] }
+  let ctl =
+    Interval_ctl.create (match adaptive_cfg with Some c -> c | None -> Interval_ctl.default_config)
+  in
+  let t = { mgr; obs; ctl; services = [] } in
+  Probe.set_sample_hook obs (fun () -> adaptive_on_sample t);
+  t
 
 let kernel t = Manager.kernel t.mgr
 let manager t = t.mgr
@@ -28,7 +52,26 @@ let clock t = Kernel.clock (kernel t)
 let now_ns t = Clock.now (clock t)
 let store t = Kernel.store (kernel t)
 let checkpoint t = Manager.checkpoint t.mgr
-let tick t = Manager.tick t.mgr
+
+let tick t =
+  (* burst feedforward: clamp the armed deadline to the interval floor
+     when replies pile up on the rings while the interval sits near its
+     idle ceiling (at most once per burst — see Interval_ctl) *)
+  (if (Manager.features t.mgr).Treesls_ckpt.State.adaptive_interval then
+     match Manager.interval t.mgr with
+     | Some interval_ns -> (
+       match
+         Interval_ctl.on_pressure t.ctl
+           ~now_ns:(Clock.now (Kernel.clock (Manager.kernel t.mgr)))
+           ~pending:(Probe.req_pending_enqueued ()) ~interval_ns
+       with
+       | Some ns ->
+         Manager.set_interval t.mgr (Some ns);
+         Probe.gauge "ckpt.interval_ns" ns;
+         Probe.count "ckpt.adaptive.clamps" 1
+       | None -> ())
+     | None -> ());
+  Manager.tick t.mgr
 
 let set_interval_us t us = Manager.set_interval t.mgr (Option.map (fun u -> u * 1000) us)
 let version t = Manager.version t.mgr
@@ -125,6 +168,27 @@ let ensure_wear_backing t =
         [ ("pmo", string_of_int pmo.Treesls_cap.Kobj.pmo_id); ("pages", string_of_int pages) ]
 
 let wearmap t = Probe.wearmap t.obs
+
+(* Same lazy eternal-backing pattern for the black box: one fixed-width
+   slot per tseries sample.  Lazy so existing eternal-PMO creation order
+   (trace ring, then wearmap) is undisturbed for Ring.reattach. *)
+let ensure_tseries_backing t =
+  match Probe.tseries_backing_pmo t.obs with
+  | Some _ -> ()
+  | None ->
+    let k = kernel t in
+    let bytes = Treesls_obs.Tseries.backing_bytes (Probe.tseries t.obs) in
+    let psz = (Kernel.cost k).Treesls_sim.Cost.page_size in
+    let pages = max 1 ((bytes + psz - 1) / psz) in
+    let pmo = Kernel.make_eternal_pmo k ~pages in
+    Probe.set_tseries_backing_pmo t.obs pmo.Treesls_cap.Kobj.pmo_id;
+    Probe.instant "obs.tseries_backing"
+      ~args:
+        [ ("pmo", string_of_int pmo.Treesls_cap.Kobj.pmo_id); ("pages", string_of_int pages) ]
+
+let tseries t = Probe.tseries t.obs
+let slo t = Probe.slo t.obs
+let interval_ctl t = t.ctl
 
 (* --- state audit (slsfsck) -------------------------------------------- *)
 

@@ -30,12 +30,17 @@ val boot :
   ?features:Treesls_ckpt.State.features ->
   ?active_cfg:Treesls_ckpt.Active_list.config ->
   ?trace_capacity:int ->
+  ?tseries_capacity:int ->
+  ?adaptive_cfg:Treesls_ckpt.Interval_ctl.config ->
   unit ->
   t
 (** Boot. [interval_us] enables periodic checkpointing (e.g. 1000 for the
     paper's 1 ms / 1000 Hz configuration).  Boot also creates and installs
     this system's observability probe (metrics on, tracing off;
-    [trace_capacity] sizes the event ring — see {!enable_tracing}). *)
+    [trace_capacity] sizes the event ring — see {!enable_tracing};
+    [tseries_capacity] sizes the black-box sample ring).  [adaptive_cfg]
+    configures the adaptive-interval controller, which acts only while
+    [features.adaptive_interval] is set (default off). *)
 
 val kernel : t -> Kernel.t
 (** The current runtime kernel ({b re-fetch after every recover}). *)
@@ -47,7 +52,9 @@ val store : t -> Treesls_nvm.Store.t
 
 val checkpoint : t -> Report.t
 val tick : t -> Report.t option
-(** Checkpoint if the periodic deadline has passed. *)
+(** Checkpoint if the periodic deadline has passed.  With
+    [features.adaptive_interval] on, also polls the controller's burst
+    feedforward first (see {!Treesls_ckpt.Interval_ctl.on_pressure}). *)
 
 val set_interval_us : t -> int option -> unit
 val version : t -> int
@@ -118,6 +125,24 @@ val ensure_wear_backing : t -> unit
     counters crash-surviving — is visible in the capability tree, like the
     trace ring's backing.  Idempotent; lazy so that systems which never
     ask for wear residency keep their eternal-PMO layout unchanged. *)
+
+val tseries : t -> Treesls_obs.Tseries.t
+(** Crash-surviving metrics time-series (the "black box") sampled by this
+    system's probe at every checkpoint commit — always on, monotone
+    across crash/restore like the wearmap. *)
+
+val slo : t -> Treesls_obs.Slo.t
+(** The SLO watchdog evaluated on every black-box sample. *)
+
+val ensure_tseries_backing : t -> unit
+(** Reserve an eternal PMO sized for the tseries ring (one fixed-width
+    slot per sample; see {!Treesls_obs.Tseries.slot_bytes}), making the
+    black box's NVM residency visible in the capability tree like the
+    trace ring's and wearmap's backings.  Idempotent and lazy. *)
+
+val interval_ctl : t -> Treesls_ckpt.Interval_ctl.t
+(** The adaptive-interval controller (inspect retune/clamp counters);
+    inert unless [features.adaptive_interval] is on. *)
 
 val metrics_snapshot : t -> Treesls_obs.Metrics.snapshot
 

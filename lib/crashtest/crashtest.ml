@@ -152,6 +152,7 @@ type outcome =
   | Recovery_failed of string
   | Liveness_failed of string
   | Wear_failed of string  (* wearmap invariant broken across crash/restore *)
+  | Tseries_failed of string  (* black-box sample torn/duplicated/reordered *)
 
 let outcome_is_pass = function Passed -> true | _ -> false
 
@@ -163,6 +164,7 @@ let outcome_to_string = function
   | Recovery_failed e -> "recovery: " ^ e
   | Liveness_failed e -> "liveness: " ^ e
   | Wear_failed e -> "wear: " ^ e
+  | Tseries_failed e -> "tseries: " ^ e
 
 (* Every writer context the simulator can legitimately put on the wear
    stack; attribution outside this set (including [Wearmap.unattributed])
@@ -204,6 +206,72 @@ let wear_check sys ~bytes_before =
           else None)
       None
       (Treesls_obs.Wearmap.subsystems wm)
+
+module Tseries = Treesls_obs.Tseries
+
+(* Pre-crash snapshot of the black box's spine: total samples recorded
+   plus the identity of the newest one. *)
+let tseries_mark sys =
+  let ts = System.tseries sys in
+  ( Tseries.total ts,
+    Option.map
+      (fun s -> (s.Tseries.sp_seq, s.Tseries.sp_version, s.Tseries.sp_ts_ns))
+      (Tseries.latest ts) )
+
+(* Post-recovery black-box invariants: the sample spine is monotone across
+   crash/restore (samples exist only for committed versions, and nothing
+   ever rolls the ring back), with no torn, duplicated or reordered
+   sample.  Takes one fresh checkpoint through the victim's own probe so
+   the spine is verified to *continue* after recovery, not merely to have
+   survived. *)
+let tseries_check sys ~mark =
+  let total_before, last_before = mark in
+  (* the twin boot made its probe ambient (last boot wins): reinstall the
+     victim's so the fresh sample lands in the ring under test *)
+  Probe.install (System.obs sys);
+  ignore (System.checkpoint sys);
+  let ts = System.tseries sys in
+  let total = Tseries.total ts in
+  if total < total_before then
+    Some (Printf.sprintf "sample count shrank across crash/restore (%d -> %d)" total_before total)
+  else if total = total_before then
+    Some (Printf.sprintf "no sample recorded for the post-recovery commit (total=%d)" total)
+  else begin
+    let ss = Tseries.samples ts in
+    let spine_err =
+      let rec walk = function
+        | a :: (b :: _ as rest) ->
+          if b.Tseries.sp_seq <> a.Tseries.sp_seq + 1 then
+            Some (Printf.sprintf "seq not consecutive (%d then %d)" a.Tseries.sp_seq b.Tseries.sp_seq)
+          else if b.Tseries.sp_ts_ns < a.Tseries.sp_ts_ns then
+            Some (Printf.sprintf "timestamp regressed at seq %d" b.Tseries.sp_seq)
+          else if b.Tseries.sp_version <= a.Tseries.sp_version then
+            Some
+              (Printf.sprintf "version not strictly increasing at seq %d (v%d then v%d)"
+                 b.Tseries.sp_seq a.Tseries.sp_version b.Tseries.sp_version)
+          else walk rest
+        | [ last ] ->
+          if last.Tseries.sp_seq <> total - 1 then
+            Some (Printf.sprintf "newest seq %d != total-1 (%d)" last.Tseries.sp_seq (total - 1))
+          else None
+        | [] -> Some "ring empty after a committed checkpoint"
+      in
+      walk ss
+    in
+    match spine_err with
+    | Some _ as e -> e
+    | None -> (
+      (* the pre-crash newest sample, if still retained, must be intact *)
+      match last_before with
+      | None -> None
+      | Some (seq, ver, ts_ns) -> (
+        match List.find_opt (fun s -> s.Tseries.sp_seq = seq) ss with
+        | None -> None (* wrapped out of the ring; nothing to compare *)
+        | Some s ->
+          if s.Tseries.sp_version <> ver || s.Tseries.sp_ts_ns <> ts_ns then
+            Some (Printf.sprintf "pre-crash sample seq %d rewritten across crash/restore" seq)
+          else None))
+  end
 
 type config = {
   seed : int;
@@ -397,6 +465,7 @@ let run_one_profiled ?(twins = Hashtbl.create 8) cfg point =
   Warea.set_crash_schedule w None;
   Crash_site.reset ();
   let wear_bytes_before = Treesls_obs.Wearmap.total_bytes (System.wearmap sys) in
+  let tseries_before = tseries_mark sys in
   let outcome =
     if not !fired then Did_not_fire
     else begin
@@ -431,7 +500,10 @@ let run_one_profiled ?(twins = Hashtbl.create 8) cfg point =
             | None -> (
               match wear_check sys ~bytes_before:wear_bytes_before with
               | Some e -> Wear_failed e
-              | None -> Passed))
+              | None -> (
+                match tseries_check sys ~mark:tseries_before with
+                | Some e -> Tseries_failed e
+                | None -> Passed)))
     end
   in
   Warea.set_recovery_bug w false;

@@ -76,6 +76,12 @@ type outcome =
       (** a wearmap invariant broke across crash/restore: physical-write
           counters shrank, or bytes were attributed outside the known
           writer-context vocabulary (e.g. [unattributed]) *)
+  | Tseries_failed of string
+      (** a black-box invariant broke across crash/restore: a sample was
+          torn, duplicated, reordered or lost (seqs must stay
+          consecutive, timestamps nondecreasing, versions strictly
+          increasing), or no sample was recorded for the post-recovery
+          commit *)
 
 val outcome_is_pass : outcome -> bool
 val outcome_to_string : outcome -> string

@@ -1,5 +1,7 @@
 module Clock = Treesls_sim.Clock
 
+module Histogram = Treesls_util.Histogram
+
 type t = {
   clock : Clock.t;
   trace : Trace.t;
@@ -7,10 +9,19 @@ type t = {
   rtrace : Rtrace.t;
   wearmap : Wearmap.t;
   rto : Rto.t;
+  tseries : Tseries.t;
+  slo : Slo.t;
+  enq2vis_w : Histogram.Windowed.t;
+      (* windowed enq2vis for the per-sample p50/p99 derived columns:
+         fed on every release, rotated once per tseries sample *)
+  mutable sample_hook : (unit -> unit) option;
+      (* invoked after each tseries sample + SLO check (the adaptive
+         interval controller's feedback edge; set by System.boot) *)
   mutable tracing : bool;
   mutable verbose : bool;
   mutable backing_pmo : int option;
   mutable wear_backing_pmo : int option;
+  mutable tseries_backing_pmo : int option;
 }
 
 (* The simulator is single-threaded, so "the installed probe" is a single
@@ -20,7 +31,7 @@ type t = {
    never any *simulated* time. *)
 let current : t option ref = ref None
 
-let create ?(capacity = 4096) ~clock () =
+let create ?(capacity = 4096) ?(tseries_capacity = Tseries.default_capacity) ~clock () =
   {
     clock;
     trace = Trace.create ~capacity ();
@@ -28,10 +39,15 @@ let create ?(capacity = 4096) ~clock () =
     rtrace = Rtrace.create ();
     wearmap = Wearmap.create ();
     rto = Rto.create ();
+    tseries = Tseries.create ~capacity:tseries_capacity ();
+    slo = Slo.create ();
+    enq2vis_w = Histogram.Windowed.create ~slices:4 ();
+    sample_hook = None;
     tracing = false;
     verbose = false;
     backing_pmo = None;
     wear_backing_pmo = None;
+    tseries_backing_pmo = None;
   }
 
 let install t = current := Some t
@@ -51,8 +67,13 @@ let set_backing_pmo t id = t.backing_pmo <- Some id
 let backing_pmo t = t.backing_pmo
 let set_wear_backing_pmo t id = t.wear_backing_pmo <- Some id
 let wear_backing_pmo t = t.wear_backing_pmo
+let set_tseries_backing_pmo t id = t.tseries_backing_pmo <- Some id
+let tseries_backing_pmo t = t.tseries_backing_pmo
 let wearmap t = t.wearmap
 let rto t = t.rto
+let tseries t = t.tseries
+let slo t = t.slo
+let set_sample_hook t f = t.sample_hook <- Some f
 
 let tracing_enabled () = match !current with Some t -> t.tracing | None -> false
 
@@ -221,6 +242,7 @@ let req_released ~id ~version =
     | Some rq ->
       Metrics.add t.metrics "req.released" 1;
       Metrics.observe t.metrics "req.enq2vis_ns" (rq.Rtrace.rq_visible_ns - rq.Rtrace.rq_enqueued_ns);
+      Histogram.Windowed.add t.enq2vis_w (rq.Rtrace.rq_visible_ns - rq.Rtrace.rq_enqueued_ns);
       Metrics.observe t.metrics "req.e2e_ns" (rq.Rtrace.rq_visible_ns - rq.Rtrace.rq_arrive_ns);
       if t.tracing then begin
         (* Retroactive request slice plus a flow arrow from its enqueue
@@ -277,6 +299,84 @@ let wear_counter_sample () =
     Trace.counter t.trace ~now:(Clock.now t.clock) "nvm.bytes_written"
       ~values:(List.map (fun (name, _, bytes) -> (name, bytes)) (Wearmap.subsystems t.wearmap))
   | Some _ | None -> ()
+
+(* --- tseries / SLO emitters ------------------------------------------- *)
+
+(* Always on while a probe is installed, like metrics: the black box must
+   not require tracing to be recording.  Called by [Checkpoint.run] after
+   commit (and after the post-commit gauges are set), so samples exist
+   only for committed versions — the monotone seq/version spine the
+   crashtest sweep verifies across power cuts. *)
+
+let tseries_key_cols =
+  [
+    "ckpt.stw_ns";
+    "ckpt.dirty_fraction_pct";
+    "ckpt.nvm.waf";
+    "req.enq2vis.p99_ns";
+    "extsync.ring.dropped";
+  ]
+
+let req_pending_enqueued () =
+  match !current with Some t -> Rtrace.pending_enqueued t.rtrace | None -> 0
+
+let tseries_sample ~version ~stw_ns ~interval_ns =
+  match !current with
+  | None -> ()
+  | Some t ->
+    let now = Clock.now t.clock in
+    (* the full registry: counters and gauges as-is, timers as count+p99 *)
+    let snap = Metrics.snapshot t.metrics in
+    let registry =
+      snap.Metrics.counters @ snap.Metrics.gauges
+      @ List.concat_map
+          (fun (name, tm) ->
+            [ (name ^ ".n", tm.Metrics.tm_count); (name ^ ".p99_ns", tm.Metrics.tm_p99_ns) ])
+          snap.Metrics.timers
+    in
+    (* derived signals: the STW of this commit and the windowed enq2vis
+       percentiles ([.n] = releases since the previous sample; rotating
+       after reading makes the window a 4-commit sliding one) *)
+    let win = Histogram.Windowed.merged t.enq2vis_w in
+    let derived =
+      [
+        ("ckpt.stw_ns", stw_ns);
+        ("req.enq2vis.n", Histogram.count (Histogram.Windowed.current t.enq2vis_w));
+        ("req.enq2vis.win_n", Histogram.count win);
+        ("req.enq2vis.p50_ns", Histogram.percentile win 50.0);
+        ("req.enq2vis.p99_ns", Histogram.percentile win 99.0);
+      ]
+    in
+    Histogram.Windowed.rotate t.enq2vis_w;
+    Tseries.record t.tseries ~ts_ns:now ~version (registry @ derived);
+    (* live counter samples keep the black box on the shared trace/flight
+       timeline when tracing is on *)
+    if t.tracing then begin
+      let s = match Tseries.latest t.tseries with Some s -> s | None -> assert false in
+      Trace.counter t.trace ~now "tseries"
+        ~values:
+          (List.filter_map
+             (fun c -> Option.map (fun v -> (c, v)) (Tseries.value t.tseries s c))
+             tseries_key_cols)
+    end;
+    (* the SLO watchdog runs on every sample *)
+    let alerts = Slo.check t.slo t.tseries ~interval_ns in
+    List.iter
+      (fun al ->
+        Metrics.add t.metrics "slo.alerts" 1;
+        if t.tracing then
+          Trace.instant t.trace ~now "slo.alert"
+            ~args:
+              [
+                ("rule", al.Slo.al_rule);
+                ("value", Printf.sprintf "%.1f" al.Slo.al_value);
+                ("bound", Printf.sprintf "%.1f" al.Slo.al_bound);
+                ("version", string_of_int al.Slo.al_version);
+              ])
+      alerts;
+    (* feedback edge: the adaptive interval controller reacts to the
+       fresh sample *)
+    match t.sample_hook with Some f -> f () | None -> ()
 
 (* --- metrics emitters ------------------------------------------------- *)
 

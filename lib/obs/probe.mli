@@ -16,8 +16,10 @@
 
 type t
 
-val create : ?capacity:int -> clock:Treesls_sim.Clock.t -> unit -> t
-(** [capacity] is the trace ring size (default 4096 events). *)
+val create : ?capacity:int -> ?tseries_capacity:int -> clock:Treesls_sim.Clock.t -> unit -> t
+(** [capacity] is the trace ring size (default 4096 events);
+    [tseries_capacity] the black-box sample ring size
+    (default {!Tseries.default_capacity}). *)
 
 val install : t -> unit
 val uninstall : unit -> unit
@@ -39,6 +41,18 @@ val rto : t -> Rto.t
 (** Recovery profiler / crash flight recorder (see {!Rto}); always
     collecting while the probe is installed, like metrics. *)
 
+val tseries : t -> Tseries.t
+(** Crash-surviving metrics time-series (see {!Tseries}); sampled at
+    every checkpoint commit via {!tseries_sample}. *)
+
+val slo : t -> Slo.t
+(** SLO watchdog evaluated on every tseries sample (see {!Slo}). *)
+
+val set_sample_hook : t -> (unit -> unit) -> unit
+(** Invoked after every tseries sample and SLO check — the adaptive
+    checkpoint-interval controller's feedback edge ([System.boot] sets
+    it when [State.features.adaptive_interval] is on). *)
+
 val set_tracing : t -> bool -> unit
 val tracing : t -> bool
 val set_verbose : t -> bool -> unit
@@ -53,6 +67,11 @@ val set_wear_backing_pmo : t -> int -> unit
 val wear_backing_pmo : t -> int option
 (** Id of the eternal PMO reserved as the wearmap's NVM backing (set by
     [System.ensure_wear_backing]); [None] until reserved. *)
+
+val set_tseries_backing_pmo : t -> int -> unit
+val tseries_backing_pmo : t -> int option
+(** Id of the eternal PMO reserved as the tseries ring's NVM backing (set
+    by [System.ensure_tseries_backing]); [None] until reserved. *)
 
 val tracing_enabled : unit -> bool
 
@@ -173,6 +192,27 @@ val wear_total_bytes : unit -> int
 val wear_counter_sample : unit -> unit
 (** With tracing on, record a [nvm.bytes_written] Perfetto counter sample
     carrying the cumulative per-subsystem byte totals. *)
+
+(** {2 Tseries / SLO emitters} — active whenever a probe is installed
+    (like metrics). *)
+
+val tseries_key_cols : string list
+(** The headline signals mirrored onto the live trace as a ["tseries"]
+    counter track when tracing is on. *)
+
+val req_pending_enqueued : unit -> int
+(** {!Rtrace.pending_enqueued} of the installed probe (0 with none) —
+    the controller's burst-pressure poll. *)
+
+val tseries_sample : version:int -> stw_ns:int -> interval_ns:int option -> unit
+(** Record one black-box sample for the just-committed checkpoint
+    [version]: the full metrics registry (counters, gauges, per-timer
+    count/p99) plus the derived signals ([ckpt.stw_ns] of this commit
+    and the windowed enq2vis p50/p99), then run the SLO watchdog
+    ([interval_ns] is the current checkpoint interval, for rules using
+    [interval]) and finally the sample hook.  Called by
+    [Checkpoint.run] after commit, once the post-commit gauges are
+    set. *)
 
 (** {2 Metrics emitters} — active whenever a probe is installed. *)
 

@@ -170,6 +170,13 @@ let on_commit t ~version ~stw_t0 ~stw_t1 = t.last_commit <- Some (version, stw_t
 let last_commit t = t.last_commit
 
 let live_count t = Hashtbl.length t.live
+
+(* Burst-pressure signal for the adaptive interval controller: requests
+   whose reply is parked on a ring awaiting the next commit. *)
+let pending_enqueued t =
+  Hashtbl.fold
+    (fun _ rq acc -> if rq.rq_outcome = Pending && rq.rq_enqueued_ns >= 0 then acc + 1 else acc)
+    t.live 0
 let released_count t = t.released
 let internal_count t = t.internal
 let shed_count t = t.shed

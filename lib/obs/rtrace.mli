@@ -78,6 +78,12 @@ val last_commit : t -> (int * int * int) option
 (** [(version, stw_t0, stw_t1)] of the most recent commit. *)
 
 val live_count : t -> int
+
+val pending_enqueued : t -> int
+(** Live requests whose reply is parked on an extsync ring awaiting the
+    next commit — the burst-pressure signal the adaptive
+    checkpoint-interval controller polls between operations. *)
+
 val released_count : t -> int
 val internal_count : t -> int
 val shed_count : t -> int

@@ -102,3 +102,54 @@ let clear t =
   t.sum <- 0;
   t.maxv <- 0;
   t.minv <- max_int
+
+(* A windowed histogram is a ring of [slices] plain histograms: samples land
+   in the current slice, [rotate] retires the oldest slice, and every query
+   runs against the {!merge} of the retained slices.  This is the
+   percentile-over-time primitive: rotate once per sampling interval and the
+   window decays in whole-interval steps, with no per-sample cost beyond a
+   plain [add]. *)
+module Windowed = struct
+  type h = t
+
+  let h_create = create
+
+  type t = {
+    slices : h array;
+    mutable cur : int; (* index of the slice receiving new samples *)
+    mutable rotations : int;
+  }
+
+  let create ?sub_buckets ~slices () =
+    if slices <= 0 then invalid_arg "Histogram.Windowed.create: slices must be positive";
+    {
+      slices = Array.init slices (fun _ -> create ?sub_buckets ());
+      cur = 0;
+      rotations = 0;
+    }
+
+  let slices t = Array.length t.slices
+  let rotations t = t.rotations
+  let add t v = add t.slices.(t.cur) v
+  let current t = t.slices.(t.cur)
+
+  let rotate t =
+    t.cur <- (t.cur + 1) mod Array.length t.slices;
+    clear t.slices.(t.cur);
+    t.rotations <- t.rotations + 1
+
+  let merged t =
+    let into = h_create ~sub_buckets:t.slices.(0).sub_buckets () in
+    Array.iter (fun h -> merge ~into h) t.slices;
+    into
+
+  let count t = Array.fold_left (fun acc h -> acc + h.n) 0 t.slices
+  let percentile t p = percentile (merged t) p
+  let mean t = mean (merged t)
+  let max_value t = Array.fold_left (fun acc h -> Stdlib.max acc h.maxv) 0 t.slices
+
+  let clear t =
+    Array.iter clear t.slices;
+    t.cur <- 0;
+    t.rotations <- 0
+end

@@ -43,3 +43,38 @@ val merge : into:t -> t -> unit
     different [sub_buckets]. *)
 
 val clear : t -> unit
+
+(** Sliding-window histogram for percentile-over-time queries.
+
+    A ring of [slices] plain histograms: {!Windowed.add} lands in the
+    current slice and {!Windowed.rotate} retires the oldest slice, so the
+    window decays in whole-slice steps (rotate once per sampling interval
+    for an N-interval sliding window).  Queries run against the exact
+    {!merge} of the retained slices, so a windowed percentile equals the
+    percentile of a plain histogram that had observed only the retained
+    samples. *)
+module Windowed : sig
+  type h = t
+  type t
+
+  val create : ?sub_buckets:int -> slices:int -> unit -> t
+  (** Raises [Invalid_argument] if [slices <= 0]. *)
+
+  val add : t -> int -> unit
+  val rotate : t -> unit
+  (** Advance the window: clear and reuse the oldest slice. *)
+
+  val merged : t -> h
+  (** Fresh histogram equal to the merge of all retained slices. *)
+
+  val current : t -> h
+  (** The slice receiving new samples (samples since the last [rotate]). *)
+
+  val count : t -> int
+  val percentile : t -> float -> int
+  val mean : t -> float
+  val max_value : t -> int
+  val slices : t -> int
+  val rotations : t -> int
+  val clear : t -> unit
+end

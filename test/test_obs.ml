@@ -279,6 +279,24 @@ let perfetto_flow_events () =
     check_bool "binding point" true (str (obj_field "bp" f) = "e")
   | l -> Alcotest.failf "expected 1 flow end, got %d" (List.length l))
 
+let perfetto_counter_escaping () =
+  let tr = Trace.create () in
+  (* counter-track and value names with quotes, backslashes and raw UTF-8
+     (the exporter passes non-ASCII bytes through unescaped) *)
+  Trace.counter tr ~now:2_000 "bla\"ck\\bo\xc3\xa9x"
+    ~values:[ ("a\"b", 7); ("c\\d", -3); ("\xc3\xa9", 12) ];
+  let j = parse_json (Trace.to_perfetto_json ~pid:1 ~tid:1 tr) in
+  let evs = match obj_field "traceEvents" j with JArr l -> l | _ -> Alcotest.fail "array" in
+  match List.filter (fun e -> str (obj_field "ph" e) = "C") evs with
+  | [ c ] ->
+    check_bool "track name round-trips" true
+      (str (obj_field "name" c) = "bla\"ck\\bo\xc3\xa9x");
+    (* counter values are JSON numbers, not strings *)
+    check_int "quoted key" 7 (int_of_float (num (obj_field "a\"b" (obj_field "args" c))));
+    check_int "backslash key" (-3) (int_of_float (num (obj_field "c\\d" (obj_field "args" c))));
+    check_int "non-ascii key" 12 (int_of_float (num (obj_field "\xc3\xa9" (obj_field "args" c))))
+  | l -> Alcotest.failf "expected 1 counter event, got %d" (List.length l)
+
 (* ---- rtrace: request causality ---- *)
 
 let rtrace_lifecycle () =
@@ -725,6 +743,7 @@ let () =
         [
           Alcotest.test_case "export is well-formed JSON" `Quick perfetto_json_wellformed;
           Alcotest.test_case "flow events" `Quick perfetto_flow_events;
+          Alcotest.test_case "counter-track escaping" `Quick perfetto_counter_escaping;
         ] );
       ( "rtrace",
         [

@@ -287,6 +287,60 @@ let hist_merge_mismatched_buckets () =
     (Invalid_argument "Histogram.merge: sub_buckets mismatch (16 vs 32)") (fun () ->
       Histogram.merge ~into:a b)
 
+(* ---- Histogram.Windowed ---- *)
+
+(* The contract Tseries/Interval_ctl rely on: a windowed percentile equals
+   the percentile of a plain histogram that observed only the retained
+   samples — rotation retires whole slices exactly, never partially. *)
+let windowed_merge_equivalence () =
+  let module W = Histogram.Windowed in
+  let slices = 3 and rounds = 6 and per_round = 250 in
+  let rng = Rng.create 11L in
+  let data = Array.init rounds (fun _ -> Array.init per_round (fun _ -> Rng.int rng 1_000_000)) in
+  let w = W.create ~slices () in
+  for i = 0 to rounds - 1 do
+    if i > 0 then W.rotate w;
+    Array.iter (W.add w) data.(i)
+  done;
+  check_int "rotations" (rounds - 1) (W.rotations w);
+  check_int "slices" slices (W.slices w);
+  (* retained window = the last [slices] rounds *)
+  let direct = Histogram.create () in
+  for i = rounds - slices to rounds - 1 do
+    Array.iter (Histogram.add direct) data.(i)
+  done;
+  check_int "count equals direct" (Histogram.count direct) (W.count w);
+  check_float "mean equals direct" (Histogram.mean direct) (W.mean w);
+  check_int "max equals direct" (Histogram.max_value direct) (W.max_value w);
+  List.iter
+    (fun p ->
+      check_int
+        (Printf.sprintf "p%.0f equals direct" p)
+        (Histogram.percentile direct p) (W.percentile w p))
+    [ 1.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ];
+  (* merged returns a standalone histogram with the same view *)
+  let m = W.merged w in
+  check_int "merged count" (W.count w) (Histogram.count m);
+  check_int "merged p99" (W.percentile w 99.0) (Histogram.percentile m 99.0);
+  (* the current slice holds only the newest round *)
+  check_int "current slice count" per_round (Histogram.count (W.current w));
+  W.clear w;
+  check_int "clear empties" 0 (W.count w)
+
+let windowed_decay () =
+  let module W = Histogram.Windowed in
+  let w = W.create ~slices:2 () in
+  W.add w 1_000_000;
+  W.rotate w;
+  W.add w 10;
+  (* the old spike is still in the window of 2 slices... *)
+  check_bool "old spike retained" true (W.max_value w >= 1_000_000);
+  W.rotate w;
+  W.add w 20;
+  (* ...and gone after it rotates out *)
+  check_bool "old spike aged out" true (W.max_value w < 1_000);
+  check_int "only fresh samples" 2 (W.count w)
+
 (* ---- Bits ---- *)
 
 let bits_log2 () =
@@ -419,6 +473,11 @@ let () =
           Alcotest.test_case "merge equals direct observation" `Quick hist_merge_equals_direct;
           Alcotest.test_case "merge empty cases" `Quick hist_merge_empty_cases;
           Alcotest.test_case "merge mismatched sub_buckets" `Quick hist_merge_mismatched_buckets;
+        ] );
+      ( "windowed",
+        [
+          Alcotest.test_case "merge equivalence" `Quick windowed_merge_equivalence;
+          Alcotest.test_case "slices decay" `Quick windowed_decay;
         ] );
       ( "bits",
         [
