@@ -20,7 +20,7 @@ module Sqlite = Treesls_apps.Sqlite
 module Phoenix = Treesls_apps.Phoenix
 module Kvstore = Treesls_apps.Kvstore
 
-let features ?(incr = true) ?(adaptive = false) ~ckpt ~track ~copy ~hybrid () =
+let features ?(incr = true) ?(adaptive = false) ?(async = false) ~ckpt ~track ~copy ~hybrid () =
   {
     State.ckpt_enabled = ckpt;
     track_dirty = track;
@@ -28,6 +28,7 @@ let features ?(incr = true) ?(adaptive = false) ~ckpt ~track ~copy ~hybrid () =
     hybrid;
     incremental_walk = incr;
     adaptive_interval = adaptive;
+    async_drain = async;
   }
 
 let full_features () = features ~ckpt:true ~track:true ~copy:true ~hybrid:true ()

@@ -1,12 +1,18 @@
 (* Systematic crash-schedule exploration (lib/crashtest) as a CI gate.
 
-   Two sweeps:
+   Three sweeps:
    - the CLEAN sweep enumerates every crash point of the deterministic
      workload trace — journal commit points x all four Warea phases, every
      named checkpoint/restore crash site, DRAM loss between ops — injects
      each, recovers, and verifies (slsfsck audit, twin-fingerprint
      equivalence, liveness).  ANY failure exits 2 with the reproducer
      string, failing the build.
+   - the ASYNC sweep repeats the exploration with the asynchronous drain on
+     (Lazy policy, small batch): checkpoints stage a window that settles
+     over the following ops, so the schedule space gains mid-drain crashes
+     (ckpt.drain.copied / ckpt.drain.settled / ckpt.cow_fault.resolved)
+     and restore's drain_settle reconciliation.  All three drain sites
+     must actually fire, and every schedule must pass.
    - the SELF-TEST sweep re-introduces the classic journal-replay bug
      ([Warea.set_recovery_bug]) and must catch it on mid_apply schedules —
      proving the harness detects real recovery defects, not just running
@@ -40,6 +46,29 @@ let run () =
   if (not !smoke) && sweep.C.commit_schedules < min_commit_schedules_full then
     die "only %d commit-point x phase schedules explored (need >= %d)" sweep.C.commit_schedules
       min_commit_schedules_full;
+  (* async-drain sweep: same exploration with the split-capture checkpoint
+     on (Lazy policy, batch 1) — windows stay pending across ops, so the
+     schedule space now includes crashes mid-drain, at settle, and inside
+     the CoW fault resolution, plus restore's drain_settle reconciliation *)
+  let async_cfg = { cfg with C.async = true } in
+  let async_sweep = C.run async_cfg in
+  List.iter
+    (fun (r : C.result) ->
+      Printf.eprintf "crashtest(async): FAIL %s: %s\n" (C.reproducer async_cfg r.C.point)
+        (C.outcome_to_string r.C.outcome))
+    async_sweep.C.failed;
+  if async_sweep.C.failed <> [] then
+    die "async sweep: %d of %d schedules failed"
+      (List.length async_sweep.C.failed)
+      (List.length async_sweep.C.results);
+  (* the drain path must actually have been exercised: all three of its
+     named crash sites fire during enumeration, and each was injected *)
+  List.iter
+    (fun site ->
+      match List.assoc_opt site async_sweep.C.site_hits with
+      | Some n when n > 0 -> ()
+      | _ -> die "async sweep never reached crash site %s" site)
+    [ "ckpt.drain.copied"; "ckpt.drain.settled"; "ckpt.cow_fault.resolved" ];
   (* self-test: the deliberately broken journal replay must be caught *)
   let bug_cfg =
     {
@@ -74,6 +103,14 @@ let run () =
         string_of_int (List.length sweep.C.failed);
       ];
       [
+        "async-drain";
+        string_of_int async_sweep.C.commit_points;
+        string_of_int (List.length async_sweep.C.results);
+        string_of_int async_sweep.C.commit_schedules;
+        string_of_int async_sweep.C.passed;
+        string_of_int (List.length async_sweep.C.failed);
+      ];
+      [
         "recovery-bug self-test";
         string_of_int bug_sweep.C.commit_points;
         string_of_int (List.length bug_sweep.C.results);
@@ -91,5 +128,7 @@ let run () =
         ("commit_phase_schedules", float_of_int sweep.C.commit_schedules);
         ("passed", float_of_int sweep.C.passed);
         ("failed", float_of_int (List.length sweep.C.failed));
+        ("async_schedules", float_of_int (List.length async_sweep.C.results));
+        ("async_failed", float_of_int (List.length async_sweep.C.failed));
         ("selftest_caught", float_of_int (List.length bug_sweep.C.failed));
       ]

@@ -54,6 +54,9 @@ let experiments =
     ( "adaptive",
       ("Adaptive checkpoint interval vs statics on a bursty workload (SLO gate)", Exp_adaptive.run)
     );
+    ( "async_drain",
+      ("Split-capture checkpoint: async drain vs eager stop-and-copy (STW/WAF/p99 gate)",
+       Exp_async_drain.run) );
     ("smoke", ("Audit smoke: checkpoints + crash/restore under --audit (make ci)", Exp_smoke.run));
   ]
 

@@ -178,6 +178,9 @@ let aggregate_reports reports =
               :: List.remove_assoc name groups)
             acc.Report.per_group r.Report.per_group;
         objects_walked = acc.Report.objects_walked + r.Report.objects_walked;
+        pages_drained = acc.Report.pages_drained + r.Report.pages_drained;
+        cow_faults = acc.Report.cow_faults + r.Report.cow_faults;
+        drain_ns = acc.Report.drain_ns + r.Report.drain_ns;
       })
     Report.zero reports
 
@@ -225,10 +228,17 @@ let ckpt_cmd =
       let n_ckpt = List.length !reports in
       let agg = aggregate_reports !reports in
       let total_captree = max 1 agg.Report.captree_ns in
-      Printf.printf "%d checkpoints, %.1fus STW total (captree %.1fus); by capability subtree:\n\n"
+      Printf.printf "%d checkpoints, %.1fus STW total (captree %.1fus); by capability subtree:\n"
         n_ckpt
         (float_of_int agg.Report.stw_ns /. 1e3)
         (float_of_int agg.Report.captree_ns /. 1e3);
+      if agg.Report.pages_drained > 0 || agg.Report.cow_faults > 0 then
+        Printf.printf
+          "async drain: %d pages off the STW path (%.1fus background), %d CoW faults\n"
+          agg.Report.pages_drained
+          (float_of_int agg.Report.drain_ns /. 1e3)
+          agg.Report.cow_faults;
+      print_newline ();
       Printf.printf "  %-16s %12s %12s %8s %8s\n" "group" "captree (us)" "us/ckpt" "objs/ck"
         "% walk";
       List.iteri

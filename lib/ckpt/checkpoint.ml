@@ -162,6 +162,15 @@ let checkpoint_object st obj ~new_ver =
   | Kobj.Notification _ | Kobj.Irq_notification _ -> ());
   (full, Snapshot.bytes snap)
 
+(* The asynchronous drain rides on the hybrid/CoW machinery: without dirty
+   tracking, fault backups and the active list there is nothing to defer,
+   so the feature silently degrades to eager capture. *)
+let async_on st =
+  let f = st.State.features in
+  f.State.async_drain
+  && st.State.drain_policy <> Drain.Eager
+  && f.State.track_dirty && f.State.copy_on_fault && f.State.hybrid
+
 (* Step 3: one core's traversal of its sub-list of the active page list. *)
 let hybrid_sublist st ~new_ver entries counters =
   let kernel = st.State.kernel in
@@ -220,13 +229,30 @@ let hybrid_sublist st ~new_ver entries counters =
           let oroot, _ = State.oroot_for st (Kobj.Pmo pmo) ~version:new_ver in
           let pages = Oroot.pages_exn oroot in
           if Kernel.page_dirty kernel pmo ~pno then begin
-            (* dirty DRAM page: stop-and-copy into the stale backup *)
-            archive_page st pmo pno runtime;
-            Ckpt_page.stop_and_copy_dram store pages ~runtime ~pno ~new_ver;
-            Kernel.clear_page_dirty kernel pmo ~pno;
-            e.Active_list.e_idle <- 0;
-            incr dirty_copied;
-            Crash_site.hit "ckpt.hybrid.copied"
+            if async_on st then begin
+              (* async drain: capture the page logically now — protect it
+                 and flip the dirty bookkeeping as the eager copy would —
+                 but owe the copy itself to the backlog.  A write landing
+                 before the drain reaches it faults into
+                 [resolve_cow_fault] and pays exactly one page. *)
+              archive_page st pmo pno runtime;
+              List.iter
+                (fun (pt, vpn) -> Pagetable.protect pt ~vpn)
+                (Kernel.mappings_of_page kernel pmo ~pno);
+              Store.charge store (Store.cost store).Cost.mark_ro_ns;
+              Kernel.clear_page_dirty kernel pmo ~pno;
+              e.Active_list.e_idle <- 0;
+              Drain.enqueue st.State.drain { Drain.d_pmo = pmo; d_cps = pages; d_pno = pno }
+            end
+            else begin
+              (* dirty DRAM page: stop-and-copy into the stale backup *)
+              archive_page st pmo pno runtime;
+              Ckpt_page.stop_and_copy_dram store pages ~runtime ~pno ~new_ver;
+              Kernel.clear_page_dirty kernel pmo ~pno;
+              e.Active_list.e_idle <- 0;
+              incr dirty_copied;
+              Crash_site.hit "ckpt.hybrid.copied"
+            end
           end
           else begin
             e.Active_list.e_idle <- e.Active_list.e_idle + 1;
@@ -279,7 +305,238 @@ let gc_dead_oroots st ~visited =
       Hashtbl.remove st.State.oroots oid)
     dead
 
+(* Post-commit probe tail, shared by the eager path (inside [run]) and the
+   drain settle: counters/gauges for the committed version, wear telemetry,
+   then the black-box sample last — it snapshots the whole registry and
+   fires the SLO watchdog + adaptive-interval hook. *)
+let emit_commit_probes st (r : Report.t) =
+  let store = Kernel.store st.State.kernel in
+  Probe.count "ckpt.runs" 1;
+  Probe.count "ckpt.objects_walked" r.Report.objects_walked;
+  Probe.count "ckpt.objects_skipped" r.Report.objects_skipped;
+  Probe.count "ckpt.full_objects" r.Report.full_objects;
+  Probe.gauge "ckpt.dirty_fraction_pct"
+    (100 * r.Report.objects_walked / max 1 (r.Report.objects_walked + r.Report.objects_skipped));
+  Probe.count "ckpt.pages.protected" r.Report.pages_protected;
+  Probe.count "ckpt.pages.dirty_copied" r.Report.dram_dirty_copied;
+  Probe.count "ckpt.pages.migrated_in" r.Report.migrated_in;
+  Probe.count "ckpt.pages.migrated_out" r.Report.migrated_out;
+  Probe.gauge "ckpt.cached_pages" r.Report.cached_pages;
+  Probe.gauge "ckpt.version" r.Report.version;
+  Probe.observe "ckpt.stw_ns" r.Report.stw_ns;
+  Probe.observe "ckpt.captree_ns" r.Report.captree_ns;
+  Probe.observe "ckpt.hybrid_ns" r.Report.hybrid_ns;
+  Probe.observe "ckpt.others_ns" r.Report.others_ns;
+  (* drain telemetry: the per-window backlog (0 when eager, so the gauge —
+     and its tseries column — exists in both modes), the total protection
+     flips the window rode on, and the resolved copy/fault counts *)
+  Probe.gauge "ckpt.drain.backlog" r.Report.pages_drained;
+  Probe.gauge "ckpt.pages.protected.last" (r.Report.pages_protected + r.Report.pages_drained);
+  if r.Report.pages_drained > 0 then Probe.count "ckpt.drain.pages" r.Report.pages_drained;
+  if r.Report.cow_faults > 0 then Probe.count "ckpt.drain.cow_faults" r.Report.cow_faults;
+  if r.Report.drain_ns > 0 then Probe.observe "ckpt.drain_ns" r.Report.drain_ns;
+  (* wear telemetry: WAF ×100 (integer gauge), per-subsystem cumulative
+     bytes, device materialisation watermarks, and — with tracing on — a
+     Perfetto counter-track sample of the same per-subsystem series *)
+  Probe.gauge "ckpt.nvm.waf"
+    (100 * r.Report.nvm_bytes_written / max 1 r.Report.logical_dirty_bytes);
+  Probe.count "ckpt.nvm.bytes" r.Report.nvm_bytes_written;
+  (match Probe.installed () with
+  | Some p ->
+    List.iter
+      (fun (name, _writes, bytes) -> Probe.gauge ("nvm.bytes_written." ^ name) bytes)
+      (Treesls_obs.Wearmap.subsystems (Probe.wearmap p))
+  | None -> ());
+  Probe.gauge "nvm.pages_touched" (Store.nvm_pages_touched store);
+  Probe.gauge "dram.pages_touched" (Store.dram_pages_touched store);
+  Probe.wear_counter_sample ();
+  (* black-box sample last, once every post-commit gauge above is in the
+     registry: one tseries sample per committed version, then the SLO
+     watchdog and the adaptive-interval feedback hook *)
+  Probe.tseries_sample ~version:r.Report.version ~stw_ns:r.Report.stw_ns
+    ~interval_ns:st.State.interval_ns
+
+(* Copy up to [limit] backlog pages into their stale CPP slots on the
+   follower cores (metered — the shared clock does not advance; ops running
+   meanwhile only pay for pages they fault on). *)
+let drain_copies st (p : Drain.pending) ~limit =
+  let kernel = st.State.kernel in
+  let store = Kernel.store kernel in
+  let drain = st.State.drain in
+  let copied = ref 0 in
+  let meter = ref 0 in
+  Treesls_obs.Wearmap.with_writer "ckpt.drain" (fun () ->
+      Store.with_sink store (Store.Meter meter) (fun () ->
+          let exhausted = ref false in
+          while (not !exhausted) && !copied < limit do
+            match Drain.pop drain with
+            | None -> exhausted := true
+            | Some e -> (
+              let pmo = e.Drain.d_pmo and pno = e.Drain.d_pno in
+              match Radix.get pmo.Kobj.pmo_radix pno with
+              | Some runtime when Paddr.is_dram runtime ->
+                Ckpt_page.stop_and_copy_dram store e.Drain.d_cps ~runtime ~pno
+                  ~new_ver:p.Drain.p_ver;
+                List.iter
+                  (fun (pt, vpn) -> Pagetable.unprotect pt ~vpn)
+                  (Kernel.mappings_of_page kernel pmo ~pno);
+                incr copied;
+                p.Drain.p_drained <- p.Drain.p_drained + 1;
+                Crash_site.hit "ckpt.drain.copied"
+              | Some _ | None ->
+                (* page vanished or left DRAM since the STW: no copy owed *)
+                ())
+          done));
+  p.Drain.p_drain_ns <- p.Drain.p_drain_ns + !meter;
+  !copied
+
+(* The settle step: the backlog is empty — apply the CoW restamps and
+   drain-saved frames, bump the version (THE atomic commit, deferred from
+   the STW), run the dead-ORoot GC against the walk's visited set, and
+   release everything that waited on durability: the extsync callbacks,
+   the wear/WAF accounting, the commit probes and the black-box sample. *)
+let settle_commit st (p : Drain.pending) =
+  let kernel = st.State.kernel in
+  let store = Kernel.store kernel in
+  let meta = Store.meta store in
+  let drain = st.State.drain in
+  let meter = ref 0 in
+  Treesls_obs.Wearmap.with_writer "ckpt.drain" (fun () ->
+      Store.with_sink store (Store.Meter meter) (fun () ->
+          Drain.apply_settle store drain ~ver:p.Drain.p_ver));
+  p.Drain.p_drain_ns <- p.Drain.p_drain_ns + !meter;
+  Crash_site.hit "ckpt.drain.settled";
+  Global_meta.commit_checkpoint meta;
+  Crash_site.hit "ckpt.version_bump";
+  gc_dead_oroots st ~visited:p.Drain.p_visited;
+  Crash_site.hit "ckpt.gc_done";
+  Drain.clear_pending drain;
+  Probe.span_at "ckpt.drain" ~ts_ns:p.Drain.p_stw_t1 ~dur_ns:(now st - p.Drain.p_stw_t1)
+    ~args:
+      [
+        ("version", string_of_int p.Drain.p_ver);
+        ("deferred", string_of_int p.Drain.p_enqueued);
+        ("drained", string_of_int p.Drain.p_drained);
+        ("cow_faults", string_of_int p.Drain.p_cow_faults);
+      ];
+  (* replies released below attribute to the STW window that staged them *)
+  Probe.ckpt_committed ~version:p.Drain.p_ver ~stw_t0:p.Drain.p_stw_t0
+    ~stw_t1:p.Drain.p_stw_t1;
+  List.iter (fun cb -> cb ()) st.State.ckpt_callbacks;
+  let wear_now = Probe.wear_total_bytes () in
+  let nvm_bytes_written = wear_now - st.State.wear_mark in
+  st.State.wear_mark <- wear_now;
+  let logical_dirty_bytes =
+    (Store.cost store).Cost.page_size
+    * (p.Drain.p_report.Report.pages_protected + p.Drain.p_drained)
+  in
+  let report =
+    {
+      p.Drain.p_report with
+      Report.nvm_bytes_written;
+      logical_dirty_bytes;
+      pages_drained = p.Drain.p_drained;
+      cow_faults = p.Drain.p_cow_faults;
+      drain_ns = p.Drain.p_drain_ns;
+    }
+  in
+  st.State.last_report <- Some report;
+  emit_commit_probes st report
+
+(* One asynchronous drain step, called between operations (System.tick).
+   Lazy copies a bounded batch per step; Deadline empties the backlog at
+   the first opportunity.  Either way [run] force-settles any window still
+   pending before the next capture — one staged version in flight, ever. *)
+let drain_step st =
+  match Drain.pending st.State.drain with
+  | None -> 0
+  | Some p ->
+    let limit =
+      match st.State.drain_policy with
+      | Drain.Lazy -> st.State.drain_batch
+      | Drain.Eager | Drain.Deadline -> max_int
+    in
+    let n = drain_copies st p ~limit in
+    if Drain.backlog st.State.drain = 0 then settle_commit st p;
+    n
+
+let settle st =
+  match Drain.pending st.State.drain with
+  | None -> ()
+  | Some p ->
+    ignore (drain_copies st p ~limit:max_int);
+    settle_commit st p
+
+(* Write fault on a still-protected page while a drain window is pending
+   (staged version N, committed version N-1).  Returns true when a window
+   is pending — the fault was handled here and the caller (the Manager CoW
+   hook) must not run the eager backup protocol on top. *)
+let resolve_cow_fault st pmo pno =
+  match Drain.pending st.State.drain with
+  | None -> false
+  | Some p ->
+    let kernel = st.State.kernel in
+    let store = Kernel.store kernel in
+    let key = (pmo.Kobj.pmo_id, pno) in
+    (match Drain.take st.State.drain key with
+    | Some e -> (
+      (* backlogged DRAM page: resolve its owed copy right now — the
+         faulting op pays one page and the page reopens for writing *)
+      match Radix.get pmo.Kobj.pmo_radix pno with
+      | Some runtime when Paddr.is_dram runtime ->
+        Treesls_obs.Wearmap.with_writer "ckpt.cow_fault" (fun () ->
+            Ckpt_page.stop_and_copy_dram store e.Drain.d_cps ~runtime ~pno
+              ~new_ver:p.Drain.p_ver);
+        List.iter
+          (fun (pt, vpn) -> Pagetable.unprotect pt ~vpn)
+          (Kernel.mappings_of_page kernel pmo ~pno);
+        p.Drain.p_drained <- p.Drain.p_drained + 1;
+        p.Drain.p_cow_faults <- p.Drain.p_cow_faults + 1;
+        Crash_site.hit "ckpt.cow_fault.resolved"
+      | Some _ | None -> ())
+    | None -> (
+      (* NVM page protected at the STW: its backup must serve two masters —
+         a crash mid-window restores to N-1, a settled window to N. *)
+      match Hashtbl.find_opt st.State.oroots pmo.Kobj.pmo_id with
+      | None -> ()
+      | Some oroot -> (
+        match (oroot.Oroot.pages, Radix.get pmo.Kobj.pmo_radix pno) with
+        | Some pages, Some runtime when Paddr.is_nvm runtime -> (
+          match Ckpt_page.find pages pno with
+          | None -> ()
+          | Some cp ->
+            let committed = Global_meta.version (Store.meta store) in
+            Treesls_obs.Wearmap.with_writer "ckpt.cow_fault" (fun () ->
+                if Ckpt_page.cow_backup store pages ~runtime ~pno ~global:committed then begin
+                  (* clean at N: the pre-image just banked equals the page's
+                     content at both N-1 and N, so settle lifts the stamp to
+                     N without another copy *)
+                  Drain.note_restamp st.State.drain key cp;
+                  p.Drain.p_cow_faults <- p.Drain.p_cow_faults + 1;
+                  Crash_site.hit "ckpt.cow_fault.resolved"
+                end
+                else if
+                  (cp.Ckpt_page.b1_ver = committed && cp.Ckpt_page.b1 <> None)
+                  || (cp.Ckpt_page.b2_ver = committed && cp.Ckpt_page.b2 <> None)
+                then begin
+                  (* dirty at N (a backup stamped N-1 already exists): the
+                     runtime holds the only copy of the staged content —
+                     save it to a fresh frame before the write lands; settle
+                     installs the frame as the N backup, a crash frees it *)
+                  let frame = Store.alloc_page store in
+                  Store.copy_page store ~src:runtime ~dst:frame;
+                  Store.seal_page store frame;
+                  Drain.note_saved st.State.drain key cp frame;
+                  p.Drain.p_cow_faults <- p.Drain.p_cow_faults + 1;
+                  Crash_site.hit "ckpt.cow_fault.resolved"
+                end))
+        | (Some _ | None), _ -> ())));
+    true
+
 let run st =
+  (* one staged version in flight, ever: a window still draining must
+     finish (deadline semantics) before the next capture starts *)
+  settle st;
   let kernel = st.State.kernel in
   let store = Kernel.store kernel in
   let meta = Store.meta store in
@@ -443,7 +700,7 @@ let run st =
           ("migrated_in", string_of_int !migrated_in);
           ("migrated_out", string_of_int !migrated_out);
         ];
-  (* step 4: atomic commit *)
+  (* step 4: atomic commit — or, with the drain on, staging *)
   let others_tok = Probe.enter "ckpt.others" in
   let others0 = now st in
   (* The id high-water mark is part of the staged state: it must be in
@@ -452,12 +709,19 @@ let run st =
      objects. A crash before the bump leaves it too high for the rolled
      back version, which only costs id-space gaps. *)
   st.State.ids_hwm <- Id_gen.current (Kernel.ids kernel);
-  (* everything is staged; the version bump below is THE atomic commit *)
+  (* Everything is staged.  With an empty backlog the version bump below
+     is THE atomic commit; with deferred copies outstanding the bump (and
+     with it the GC, the extsync callbacks, wear accounting and the
+     black-box sample) waits in [settle_commit] until the drain empties —
+     a mid-window crash rolls back to the still-committed N-1. *)
   Crash_site.hit "ckpt.publish";
-  Global_meta.commit_checkpoint meta;
-  Crash_site.hit "ckpt.version_bump";
-  gc_dead_oroots st ~visited;
-  Crash_site.hit "ckpt.gc_done";
+  let enqueued = Drain.backlog st.State.drain in
+  if enqueued = 0 then begin
+    Global_meta.commit_checkpoint meta;
+    Crash_site.hit "ckpt.version_bump";
+    gc_dead_oroots st ~visited;
+    Crash_site.hit "ckpt.gc_done"
+  end;
   Store.charge store (Store.cost store).Cost.tlb_shootdown_ns;
   let others_ns = now st - others0 in
   Probe.exit others_tok;
@@ -467,22 +731,6 @@ let run st =
   Probe.exit resume_tok;
   let stw_ns = now st - t0 in
   Probe.exit stw_tok ~args:[ ("stw_ns", string_of_int stw_ns) ];
-  (* record the commit + STW window first, so the extsync callbacks below
-     can attribute each released reply to this version (and bind flow
-     arrows to the ckpt.stw slice just closed) *)
-  Probe.ckpt_committed ~version:new_ver ~stw_t0:t0 ~stw_t1:(t0 + stw_ns);
-  (* external synchrony callbacks run after the commit (release replies) *)
-  List.iter (fun cb -> cb ()) st.State.ckpt_callbacks;
-  (* Write-amplification: physical NVM bytes landed since the previous
-     checkpoint (wearmap delta — app data, CoW backups, hybrid copies,
-     snapshots, journal, meta) over the application-level dirty delta
-     (dirty pages × page size, identical whatever the walk strategy). *)
-  let wear_now = Probe.wear_total_bytes () in
-  let nvm_bytes_written = wear_now - st.State.wear_mark in
-  st.State.wear_mark <- wear_now;
-  let logical_dirty_bytes =
-    (Store.cost store).Cost.page_size * (protected_before + !dirty_copied)
-  in
   let report =
     {
       Report.version = new_ver;
@@ -512,42 +760,54 @@ let run st =
       migrated_out = !migrated_out;
       cached_pages = Active_list.cached_count st.State.active;
       snapshot_bytes = !snap_bytes;
-      nvm_bytes_written;
-      logical_dirty_bytes;
+      nvm_bytes_written = 0;
+      logical_dirty_bytes = 0;
+      pages_drained = 0;
+      cow_faults = 0;
+      drain_ns = 0;
     }
   in
-  Probe.count "ckpt.runs" 1;
-  Probe.count "ckpt.objects_walked" !objects;
-  Probe.count "ckpt.objects_skipped" !skipped;
-  Probe.count "ckpt.full_objects" !fulls;
-  Probe.gauge "ckpt.dirty_fraction_pct" (100 * !objects / max 1 (!objects + !skipped));
-  Probe.count "ckpt.pages.protected" protected_before;
-  Probe.count "ckpt.pages.dirty_copied" !dirty_copied;
-  Probe.count "ckpt.pages.migrated_in" !migrated_in;
-  Probe.count "ckpt.pages.migrated_out" !migrated_out;
-  Probe.gauge "ckpt.cached_pages" report.Report.cached_pages;
-  Probe.gauge "ckpt.version" new_ver;
-  Probe.observe "ckpt.stw_ns" stw_ns;
-  Probe.observe "ckpt.captree_ns" walk_ns;
-  Probe.observe "ckpt.hybrid_ns" hybrid_ns;
-  Probe.observe "ckpt.others_ns" others_ns;
-  (* wear telemetry: WAF ×100 (integer gauge), per-subsystem cumulative
-     bytes, device materialisation watermarks, and — with tracing on — a
-     Perfetto counter-track sample of the same per-subsystem series *)
-  Probe.gauge "ckpt.nvm.waf" (100 * nvm_bytes_written / max 1 logical_dirty_bytes);
-  Probe.count "ckpt.nvm.bytes" nvm_bytes_written;
-  (match Probe.installed () with
-  | Some p ->
-    List.iter
-      (fun (name, _writes, bytes) -> Probe.gauge ("nvm.bytes_written." ^ name) bytes)
-      (Treesls_obs.Wearmap.subsystems (Probe.wearmap p))
-  | None -> ());
-  Probe.gauge "nvm.pages_touched" (Store.nvm_pages_touched store);
-  Probe.gauge "dram.pages_touched" (Store.dram_pages_touched store);
-  Probe.wear_counter_sample ();
-  (* black-box sample last, once every post-commit gauge above is in the
-     registry: one tseries sample per committed version, then the SLO
-     watchdog and the adaptive-interval feedback hook *)
-  Probe.tseries_sample ~version:new_ver ~stw_ns ~interval_ns:st.State.interval_ns;
-  st.State.last_report <- Some report;
-  report
+  if enqueued = 0 then begin
+    (* eager commit: record the commit + STW window first, so the extsync
+       callbacks below can attribute each released reply to this version
+       (and bind flow arrows to the ckpt.stw slice just closed) *)
+    Probe.ckpt_committed ~version:new_ver ~stw_t0:t0 ~stw_t1:(t0 + stw_ns);
+    (* external synchrony callbacks run after the commit (release replies) *)
+    List.iter (fun cb -> cb ()) st.State.ckpt_callbacks;
+    (* Write-amplification: physical NVM bytes landed since the previous
+       checkpoint (wearmap delta — app data, CoW backups, hybrid copies,
+       snapshots, journal, meta) over the application-level dirty delta
+       (dirty pages × page size, identical whatever the walk strategy). *)
+    let wear_now = Probe.wear_total_bytes () in
+    let nvm_bytes_written = wear_now - st.State.wear_mark in
+    st.State.wear_mark <- wear_now;
+    let logical_dirty_bytes =
+      (Store.cost store).Cost.page_size * (protected_before + !dirty_copied)
+    in
+    let report = { report with Report.nvm_bytes_written; logical_dirty_bytes } in
+    st.State.last_report <- Some report;
+    emit_commit_probes st report;
+    report
+  end
+  else begin
+    (* async: the STW only staged version N.  Publish the window — the
+       drain ([drain_step]/[settle]) owes [enqueued] copies, and the
+       durability point with everything downstream of it moves to
+       [settle_commit].  The partial report carries the STW-side truth;
+       wear/WAF and drain fields are finalised at settle. *)
+    Probe.gauge "ckpt.drain.backlog" enqueued;
+    Drain.publish st.State.drain
+      {
+        Drain.p_ver = new_ver;
+        p_visited = visited;
+        p_stw_t0 = t0;
+        p_stw_t1 = t0 + stw_ns;
+        p_enqueued = enqueued;
+        p_report = report;
+        p_drained = 0;
+        p_cow_faults = 0;
+        p_drain_ns = 0;
+      };
+    st.State.last_report <- Some report;
+    report
+  end

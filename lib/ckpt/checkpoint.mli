@@ -15,7 +15,31 @@
     advanced by any excess of the slowest core over the leader. *)
 
 val run : State.t -> Report.t
-(** Take one whole-system checkpoint and return its measurements. *)
+(** Take one whole-system checkpoint and return its measurements.
+
+    With [features.async_drain] on (and a non-Eager policy), dirty
+    DRAM-cached pages are protected and enqueued instead of copied: the
+    STW stays O(dirty objects), [run] returns a partial report for the
+    {e staged} version, and the version bump — with the GC, extsync
+    callbacks, wear accounting and black-box sample — waits in the settle
+    step until the backlog drains.  Any window still pending when [run] is
+    entered is force-settled first (one staged version in flight, ever). *)
+
+val drain_step : State.t -> int
+(** One asynchronous drain step (called between operations): copy a
+    policy-sized batch of backlog pages on the follower cores, settling
+    the window when the backlog empties. Returns pages copied; 0 when no
+    window is pending. *)
+
+val settle : State.t -> unit
+(** Force the pending window (if any) durable now: drain the remaining
+    backlog and commit. No-op when nothing is pending. *)
+
+val resolve_cow_fault : State.t -> Treesls_cap.Kobj.pmo -> int -> bool
+(** Write-fault arbitration while a drain window is pending: resolves the
+    owed copy (backlogged DRAM page) or banks a version-correct backup
+    (protected NVM page) and returns [true]; [false] when no window is
+    pending and the caller should run the eager CoW protocol. *)
 
 val resolve_region : Treesls_cap.Kobj.vmspace -> int -> (Treesls_cap.Kobj.pmo * int) option
 (** [resolve_region vms vpn] is the (pmo, page index) backing [vpn], via a

@@ -1,0 +1,142 @@
+(* Asynchronous checkpoint drain (the JASS-style capture/policy split).
+
+   The STW capture publishes a *staged* version: snapshots and page
+   protections land synchronously, but the copies of dirty DRAM-cached
+   pages are deferred into the backlog below and drained on the follower
+   cores between operations.  The version bump — the durability point —
+   moves to the settle step, once the backlog is empty.  Until then the
+   committed version stays [p_ver - 1] and every structure here
+   describes the in-flight version [p_ver]:
+
+   - [index]/[queue]: dirty DRAM pages protected at the STW whose copy
+     into the stale CPP slot is still owed.  A write fault on such a
+     page resolves its entry immediately (the faulting op pays one page)
+     and unprotects it.
+   - [restamp]: NVM pages clean at [p_ver] that took a CoW backup during
+     the drain window.  The backed-up pre-image equals the page's
+     content at both [p_ver - 1] and [p_ver], so settle lifts the slot
+     stamp to [p_ver] without another copy.
+   - [saved]: NVM pages dirty at [p_ver] (their backup slot is already
+     stamped [p_ver - 1]) that faulted during the window.  The runtime
+     held the only copy of the staged content, so the fault copied it
+     into a fresh frame; settle installs that frame as the page's backup
+     stamped [p_ver], freeing the slot it supersedes.
+
+   Crash discipline: the backlog and restamp tables are DRAM-resident
+   bookkeeping and die with a power failure ([note_crash]); the saved
+   frames are NVM-resident and survive until restore's [drain_settle]
+   phase frees them ([abandon] — the committed ORoots reference only
+   slots stamped at or below the restore target). *)
+
+module Kobj = Treesls_cap.Kobj
+module Paddr = Treesls_nvm.Paddr
+module Store = Treesls_nvm.Store
+
+type policy = Eager | Lazy | Deadline
+
+let policy_name = function Eager -> "eager" | Lazy -> "lazy" | Deadline -> "deadline"
+
+type entry = { d_pmo : Kobj.pmo; d_cps : Ckpt_page.t; d_pno : int }
+
+type pending = {
+  p_ver : int;  (* the staged (uncommitted) version *)
+  p_visited : (int, unit) Hashtbl.t;  (* the walk's liveness epoch, for the deferred GC *)
+  p_stw_t0 : int;
+  p_stw_t1 : int;
+  p_enqueued : int;  (* backlog size at publish = pages deferred *)
+  p_report : Report.t;  (* STW-side partial report, finalised at settle *)
+  mutable p_drained : int;  (* backlog pages copied (background + fault-resolved) *)
+  mutable p_cow_faults : int;  (* write faults resolved during the window *)
+  mutable p_drain_ns : int;  (* metered follower-core copy time *)
+}
+
+type t = {
+  index : (int * int, entry) Hashtbl.t;  (* (pmo_id, pno) -> owed copy *)
+  queue : (int * int) Queue.t;  (* drain order; deleted lazily against [index] *)
+  restamp : (int * int, Ckpt_page.cp) Hashtbl.t;
+  saved : (int * int, Ckpt_page.cp * Paddr.t) Hashtbl.t;
+  mutable pending : pending option;
+}
+
+let create () =
+  {
+    index = Hashtbl.create 64;
+    queue = Queue.create ();
+    restamp = Hashtbl.create 16;
+    saved = Hashtbl.create 16;
+    pending = None;
+  }
+
+let backlog t = Hashtbl.length t.index
+let pending t = t.pending
+let pending_version t = match t.pending with Some p -> Some p.p_ver | None -> None
+
+let enqueue t (e : entry) =
+  let key = (e.d_pmo.Kobj.pmo_id, e.d_pno) in
+  if not (Hashtbl.mem t.index key) then begin
+    Hashtbl.replace t.index key e;
+    Queue.push key t.queue
+  end
+
+(* Claim (and remove) the owed copy for a page, if any — the fault path
+   resolving a still-protected page out of drain order.  The queue entry
+   dies lazily at [pop] time. *)
+let take t key =
+  match Hashtbl.find_opt t.index key with
+  | Some e ->
+    Hashtbl.remove t.index key;
+    Some e
+  | None -> None
+
+let rec pop t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some key -> ( match take t key with Some e -> Some e | None -> pop t)
+
+let publish t p =
+  assert (t.pending = None);
+  t.pending <- Some p
+
+let note_restamp t key cp = Hashtbl.replace t.restamp key cp
+let note_saved t key cp frame = Hashtbl.replace t.saved key (cp, frame)
+let saved_frames t = Hashtbl.fold (fun _ (_, f) acc -> f :: acc) t.saved []
+
+(* Settle bookkeeping: lift the clean-at-[ver] backups to the new stamp
+   and install the drain-saved frames, freeing the slots they supersede.
+   The caller bumps the version right after. *)
+let apply_settle store t ~ver =
+  Hashtbl.iter (fun _ (cp : Ckpt_page.cp) -> cp.Ckpt_page.b1_ver <- ver) t.restamp;
+  Hashtbl.iter
+    (fun _ ((cp : Ckpt_page.cp), frame) ->
+      (match cp.Ckpt_page.b1 with Some old -> Store.free_page store old | None -> ());
+      cp.Ckpt_page.b1 <- Some frame;
+      cp.Ckpt_page.b1_ver <- ver)
+    t.saved;
+  Hashtbl.reset t.restamp;
+  Hashtbl.reset t.saved
+
+let clear_pending t =
+  t.pending <- None;
+  Hashtbl.reset t.index;
+  Queue.clear t.queue
+
+(* Power failure mid-window: the backlog and restamp tables are volatile
+   bookkeeping; the saved frames (NVM) and the pending stamp survive for
+   restore's [drain_settle] phase. *)
+let note_crash t =
+  Hashtbl.reset t.index;
+  Queue.clear t.queue;
+  Hashtbl.reset t.restamp
+
+(* Restore's [drain_settle]: the staged version is abandoned — free the
+   drain-saved frames and forget the window.  Returns the number of
+   frames dropped (they count as rolled-back pages). *)
+let abandon store t =
+  let n = Hashtbl.length t.saved in
+  Hashtbl.iter (fun _ (_, frame) -> Store.free_page store frame) t.saved;
+  Hashtbl.reset t.saved;
+  Hashtbl.reset t.restamp;
+  Hashtbl.reset t.index;
+  Queue.clear t.queue;
+  t.pending <- None;
+  n

@@ -1,0 +1,84 @@
+(** Asynchronous checkpoint drain: the backlog, CoW tables and staged
+    (pending) version of a capture whose page copies were deferred off the
+    stop-the-world path.
+
+    Pure window state — the orchestration (when to copy, when to settle,
+    how faults resolve) lives in [Checkpoint]; the tick/settle entry
+    points are exposed through [Manager] and [System].
+
+    Crash discipline: the backlog and restamp tables model DRAM-resident
+    bookkeeping and die with a power failure ({!note_crash}); the saved
+    frames are NVM-resident and survive until restore's [drain_settle]
+    phase frees them ({!abandon}). *)
+
+module Kobj = Treesls_cap.Kobj
+module Paddr = Treesls_nvm.Paddr
+module Store = Treesls_nvm.Store
+
+type policy =
+  | Eager  (** degrade to today's behaviour: copy everything inside the STW *)
+  | Lazy  (** copy [drain_batch] backlog pages per drain step *)
+  | Deadline  (** empty the whole backlog at the first drain step *)
+
+val policy_name : policy -> string
+
+type entry = { d_pmo : Kobj.pmo; d_cps : Ckpt_page.t; d_pno : int }
+(** One owed copy: a dirty DRAM-cached page protected at the STW whose
+    stop-and-copy into its stale CPP slot is still outstanding. *)
+
+type pending = {
+  p_ver : int;  (** the staged (uncommitted) version *)
+  p_visited : (int, unit) Hashtbl.t;
+      (** the walk's liveness epoch, for the GC deferred to settle *)
+  p_stw_t0 : int;
+  p_stw_t1 : int;
+  p_enqueued : int;  (** backlog size at publish = pages deferred *)
+  p_report : Report.t;  (** STW-side partial report, finalised at settle *)
+  mutable p_drained : int;
+  mutable p_cow_faults : int;
+  mutable p_drain_ns : int;
+}
+
+type t
+
+val create : unit -> t
+val backlog : t -> int
+val pending : t -> pending option
+val pending_version : t -> int option
+
+val enqueue : t -> entry -> unit
+val take : t -> int * int -> entry option
+(** Claim (and remove) the owed copy for [(pmo_id, pno)], if any — the
+    fault path resolving a page out of drain order. *)
+
+val pop : t -> entry option
+(** Next owed copy in drain order (entries claimed by {!take} are skipped
+    lazily); [None] when the backlog is empty. *)
+
+val publish : t -> pending -> unit
+(** Stage a window. At most one may be in flight. *)
+
+val note_restamp : t -> int * int -> Ckpt_page.cp -> unit
+(** The page was clean at the staged version and its CoW fault banked a
+    pre-image valid for both versions: settle lifts [b1_ver] for free. *)
+
+val note_saved : t -> int * int -> Ckpt_page.cp -> Paddr.t -> unit
+(** The page was dirty at the staged version and its fault saved the
+    staged content into [frame]: settle installs it as the new backup. *)
+
+val saved_frames : t -> Paddr.t list
+(** In-flight drain-saved frames (for the audit's allocator census). *)
+
+val apply_settle : Store.t -> t -> ver:int -> unit
+(** Apply restamps and install saved frames (freeing superseded slots);
+    the caller commits the version bump right after. *)
+
+val clear_pending : t -> unit
+val note_crash : t -> unit
+(** Power failure: drop the volatile backlog/restamp bookkeeping, keep the
+    NVM-resident saved frames and the pending stamp for restore. *)
+
+val abandon : Store.t -> t -> int
+(** Restore's [drain_settle] phase: free the drain-saved frames of the
+    abandoned staged version and clear the window. Returns the number of
+    frames freed; idempotent. *)

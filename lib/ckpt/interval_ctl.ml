@@ -67,7 +67,11 @@ let clamp_ns cfg ns =
 let max_shrink = 0.5
 let max_growth = 1.5
 
-let on_sample t ts ~interval_ns =
+(* [drain_backlog]: pages still owed by a pending async-drain window.
+   Shrinking the interval while copies are in flight would stack a new
+   capture onto an unfinished drain (forcing a stop-the-world settle), so
+   shrink proposals are held — growth and no-ops pass through. *)
+let on_sample t ts ~interval_ns ~drain_backlog =
   match Tseries.latest ts with
   | None -> None
   | Some s ->
@@ -93,6 +97,7 @@ let on_sample t ts ~interval_ns =
       end
     in
     if proposed = interval_ns then None
+    else if proposed < interval_ns && drain_backlog > 0 then None
     else begin
       t.retunes <- t.retunes + 1;
       Some proposed
@@ -106,9 +111,10 @@ let on_sample t ts ~interval_ns =
    window. *)
 let pressure_rearm_factor = 4
 
-let on_pressure t ~now_ns ~pending ~interval_ns =
+let on_pressure t ~now_ns ~pending ~interval_ns ~drain_backlog =
   if
     pending >= t.cfg.pressure_threshold
+    && drain_backlog = 0
     && interval_ns > pressure_rearm_factor * t.cfg.min_interval_ns
     && now_ns - t.last_clamp_ns >= t.cfg.min_interval_ns
   then begin

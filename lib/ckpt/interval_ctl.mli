@@ -36,16 +36,22 @@ val create : config -> t
 
 val config : t -> config
 
-val on_sample : t -> Treesls_obs.Tseries.t -> interval_ns:int -> int option
+val on_sample :
+  t -> Treesls_obs.Tseries.t -> interval_ns:int -> drain_backlog:int -> int option
 (** Feedback step against the newest sample; [Some ns] proposes a new
     interval (already clamped to the configured bounds), [None] keeps
-    the current one. *)
+    the current one.  While [drain_backlog] is nonzero, shrink proposals
+    are held (returned as [None]) — stacking a shorter interval onto an
+    unfinished drain would force a stop-the-world settle; growth still
+    passes. *)
 
-val on_pressure : t -> now_ns:int -> pending:int -> interval_ns:int -> int option
+val on_pressure :
+  t -> now_ns:int -> pending:int -> interval_ns:int -> drain_backlog:int -> int option
 (** Burst feedforward, polled between operations: [Some min_interval_ns]
     once per burst when [pending] replies are parked and the interval is
     above 4x the floor; [None] otherwise (so the armed deadline is never
-    re-postponed by repeated polls). *)
+    re-postponed by repeated polls), and always [None] while a drain
+    backlog is outstanding. *)
 
 val retunes : t -> int
 (** {!on_sample} proposals that changed the interval. *)

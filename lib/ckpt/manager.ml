@@ -14,19 +14,24 @@ let install_hooks st =
     (Some
        (fun pmo pno ->
          (* Step 6 of Figure 5: duplicate the page into its backup before
-            the write proceeds, then track hotness for hybrid copy. *)
+            the write proceeds, then track hotness for hybrid copy.  While
+            a drain window is pending the fault belongs to the window —
+            [Checkpoint.resolve_cow_fault] must arbitrate between the
+            staged and the committed version, so the eager protocol below
+            only runs when it declines. *)
          (if st.State.features.State.copy_on_fault then
-            match Hashtbl.find_opt st.State.oroots pmo.Kobj.pmo_id with
-            | Some oroot -> (
-              match (oroot.Oroot.pages, Radix.get pmo.Kobj.pmo_radix pno) with
-              | Some pages, Some runtime ->
-                let global = Global_meta.version (Store.meta store) in
-                (match Ckpt_page.find pages pno with
-                | Some cp when cp.Ckpt_page.born_ver > global -> ()
-                | Some _ -> ignore (Ckpt_page.cow_backup store pages ~runtime ~pno ~global)
-                | None -> ())
-              | (Some _ | None), _ -> ())
-            | None -> ());
+            if not (Checkpoint.resolve_cow_fault st pmo pno) then
+              match Hashtbl.find_opt st.State.oroots pmo.Kobj.pmo_id with
+              | Some oroot -> (
+                match (oroot.Oroot.pages, Radix.get pmo.Kobj.pmo_radix pno) with
+                | Some pages, Some runtime ->
+                  let global = Global_meta.version (Store.meta store) in
+                  (match Ckpt_page.find pages pno with
+                  | Some cp when cp.Ckpt_page.born_ver > global -> ()
+                  | Some _ -> ignore (Ckpt_page.cow_backup store pages ~runtime ~pno ~global)
+                  | None -> ())
+                | (Some _ | None), _ -> ())
+              | None -> ());
          if st.State.features.State.hybrid then Active_list.record_fault st.State.active pmo pno));
   Kernel.set_fresh_hook kernel (Some (fun pmo pno -> State.note_fresh_page st pmo pno))
 
@@ -74,6 +79,17 @@ let tick t =
 
 let next_deadline t =
   match t.st.State.interval_ns with Some _ -> Some t.st.State.next_ckpt_at | None -> None
+
+(* --- asynchronous drain ----------------------------------------------- *)
+
+let drain_step t = Checkpoint.drain_step t.st
+let drain_settle t = Checkpoint.settle t.st
+let drain_backlog t = Drain.backlog t.st.State.drain
+let drain_pending_version t = Drain.pending_version t.st.State.drain
+let drain_saved_frames t = Drain.saved_frames t.st.State.drain
+let drain_policy t = t.st.State.drain_policy
+let set_drain_policy t p = t.st.State.drain_policy <- p
+let set_drain_batch t n = t.st.State.drain_batch <- max 1 n
 
 let on_checkpoint t cb = t.st.State.ckpt_callbacks <- t.st.State.ckpt_callbacks @ [ cb ]
 

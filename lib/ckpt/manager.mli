@@ -44,6 +44,27 @@ val tick : t -> Report.t option
 
 val next_deadline : t -> int option
 
+(** {2 Asynchronous drain}
+
+    Entry points for the split-capture checkpoint
+    ([State.features.async_drain]); all are cheap no-ops when no drain
+    window is pending. *)
+
+val drain_step : t -> int
+(** Copy a policy-sized batch of backlog pages; settles when the backlog
+    empties. Returns pages copied. *)
+
+val drain_settle : t -> unit
+(** Force the pending window durable now. *)
+
+val drain_backlog : t -> int
+val drain_pending_version : t -> int option
+val drain_saved_frames : t -> Treesls_nvm.Paddr.t list
+val drain_policy : t -> Drain.policy
+val set_drain_policy : t -> Drain.policy -> unit
+val set_drain_batch : t -> int -> unit
+(** Backlog pages per [Lazy] drain step (clamped to >= 1). *)
+
 val on_checkpoint : t -> (unit -> unit) -> unit
 (** Register a checkpoint callback (external synchrony, §5); volatile —
     re-register after recovery. *)

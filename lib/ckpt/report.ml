@@ -24,6 +24,9 @@ type t = {
   snapshot_bytes : int;
   nvm_bytes_written : int;
   logical_dirty_bytes : int;
+  pages_drained : int;  (* backlog copies completed off the STW path *)
+  cow_faults : int;  (* protected-page write faults resolved mid-drain *)
+  drain_ns : int;  (* metered follower-core drain time *)
 }
 
 (* write-amplification factor: physical NVM bytes landed this interval per
@@ -52,6 +55,9 @@ let zero =
     snapshot_bytes = 0;
     nvm_bytes_written = 0;
     logical_dirty_bytes = 0;
+    pages_drained = 0;
+    cow_faults = 0;
+    drain_ns = 0;
   }
 
 (* costliest subtree first; name breaks ties so output is deterministic *)
@@ -99,7 +105,8 @@ let folded_lines t =
 let pp ppf t =
   Format.fprintf ppf
     "ckpt v%d: stw=%.1fus (ipi=%.1f captree=%.1f others=%.1f | hybrid=%.1f) objs=%d(full %d) \
-     skip=%d ro=%d sc=%d mig=+%d/-%d cached=%d snap=%dB nvm=%dB/%dB waf=%.2f"
+     skip=%d ro=%d sc=%d mig=+%d/-%d cached=%d snap=%dB nvm=%dB/%dB waf=%.2f drain=%d/%.1fus \
+     cowf=%d"
     t.version
     (float_of_int t.stw_ns /. 1e3)
     (float_of_int t.ipi_ns /. 1e3)
@@ -108,7 +115,9 @@ let pp ppf t =
     (float_of_int t.hybrid_ns /. 1e3)
     t.objects_walked t.full_objects t.objects_skipped t.pages_protected t.dram_dirty_copied
     t.migrated_in t.migrated_out t.cached_pages t.snapshot_bytes t.nvm_bytes_written
-    t.logical_dirty_bytes (waf t);
+    t.logical_dirty_bytes (waf t) t.pages_drained
+    (float_of_int t.drain_ns /. 1e3)
+    t.cow_faults;
   (match
      List.sort
        (fun (a, _) (b, _) ->

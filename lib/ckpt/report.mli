@@ -31,9 +31,16 @@ type t = {
           delta): app data, CoW backups, hybrid copies, snapshots, journal
           and meta words *)
   logical_dirty_bytes : int;
-      (** page size × (pages_protected + dram_dirty_copied) — the
-          application-level dirty delta this interval, independent of
+      (** page size × (pages_protected + dram_dirty_copied + pages_drained)
+          — the application-level dirty delta this interval, independent of
           checkpoint strategy *)
+  pages_drained : int;
+      (** async drain: backlog copies completed off the STW path (background
+          steps + fault-resolved); 0 in eager mode *)
+  cow_faults : int;
+      (** async drain: write faults on still-protected pages resolved during
+          the drain window *)
+  drain_ns : int;  (** async drain: metered follower-core copy time *)
 }
 
 val zero : t

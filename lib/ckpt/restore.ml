@@ -113,6 +113,15 @@ let run_inner st =
       | `Use _ | `Drop -> ());
   Probe.rto_phase_end ();
   Crash_site.hit "restore.precheck";
+  (* A crash mid-drain abandoned a staged version: its DRAM backlog died
+     with the power and its CoW restamps are moot, but the drain-saved NVM
+     frames survived and are referenced by nothing at or below [g] — free
+     them here, before the allocator reconciliation counts claims.
+     Idempotent (the tables empty on the first pass), so a crash during
+     recovery itself replays it safely. *)
+  Probe.rto_phase_begin "drain_settle";
+  let drain_dropped = Drain.abandon store st.State.drain in
+  Probe.rto_phase_end ();
   Probe.rto_phase_begin "oroot_select";
   (* PMO ids known to the checkpoint manager before any rollback: pages of
      any other PMO found in the crashed tree are in-flight allocations. *)
@@ -150,7 +159,7 @@ let run_inner st =
   Probe.rto_phase_end ();
   (* Phase 1: materialise bare objects with their original ids. *)
   let stubs : (int, Kobj.t) Hashtbl.t = Hashtbl.create 256 in
-  let pages_restored = ref 0 and pages_dropped = ref 0 in
+  let pages_restored = ref 0 and pages_dropped = ref drain_dropped in
   (* Roll back page allocations of PMOs the checkpoint never saw (created
      after the last commit): the paper's comparison of the crash-time
      state against the checkpoint's state (§3, step 7). *)

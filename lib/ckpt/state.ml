@@ -9,6 +9,7 @@ type features = {
   mutable hybrid : bool;
   mutable incremental_walk : bool;
   mutable adaptive_interval : bool;
+  mutable async_drain : bool;
 }
 
 type obj_cost = { full : Stats.t; incr : Stats.t; restore : Stats.t }
@@ -32,6 +33,9 @@ type t = {
   mutable owner_cache : (int, string) Hashtbl.t option;
   mutable owner_cache_epoch : int;
   mutable wear_mark : int;
+  drain : Drain.t;
+  mutable drain_policy : Drain.policy;
+  mutable drain_batch : int;  (* Lazy policy: backlog pages copied per tick *)
 }
 
 let default_features () =
@@ -42,6 +46,7 @@ let default_features () =
     hybrid = true;
     incremental_walk = true;
     adaptive_interval = false;
+    async_drain = false;
   }
 
 let create kernel active_cfg features =
@@ -64,6 +69,9 @@ let create kernel active_cfg features =
     owner_cache = None;
     owner_cache_epoch = -1;
     wear_mark = 0;
+    drain = Drain.create ();
+    drain_policy = Drain.Lazy;
+    drain_batch = 8;
   }
 
 let oroot_for t obj ~version =
@@ -113,7 +121,10 @@ let note_crash t =
      pre-crash saved_gen values, so the first post-restore walk is eager *)
   t.force_full <- true;
   t.owner_cache <- None;
-  t.owner_cache_epoch <- -1
+  t.owner_cache_epoch <- -1;
+  (* the drain backlog and restamp tables die with DRAM; drain-saved NVM
+     frames survive for Restore's drain_settle phase *)
+  Drain.note_crash t.drain
 
 let checkpoint_bytes t =
   let page_size = (Kernel.cost t.kernel).Treesls_sim.Cost.page_size in

@@ -20,6 +20,12 @@ type features = {
       (** let the PID-style controller retune the checkpoint interval
           against a latency SLO at every commit (default off; see
           {!Interval_ctl}) *)
+  mutable async_drain : bool;
+      (** split the STW capture from the page copies: dirty DRAM-cached
+          pages are protected and enqueued at the STW, copied later by
+          {!Drain} steps, and the version commits at settle (default off;
+          requires track_dirty + copy_on_fault + hybrid and a non-Eager
+          {!Drain.policy} to take effect) *)
 }
 
 type obj_cost = {
@@ -64,6 +70,12 @@ type t = {
       (** cumulative wearmap bytes at the last committed checkpoint: the
           per-interval physical-NVM-bytes delta (WAF numerator) is measured
           against this watermark by [Checkpoint.run] *)
+  drain : Drain.t;
+      (** asynchronous-drain window state: backlog of owed page copies,
+          CoW restamp/saved tables, and the staged (pending) version *)
+  mutable drain_policy : Drain.policy;
+  mutable drain_batch : int;
+      (** [Lazy] policy: backlog pages copied per drain step *)
 }
 
 val default_features : unit -> features

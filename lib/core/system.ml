@@ -25,7 +25,10 @@ let adaptive_on_sample t =
     match Manager.interval t.mgr with
     | None -> ()
     | Some interval_ns -> (
-      match Interval_ctl.on_sample t.ctl (Probe.tseries t.obs) ~interval_ns with
+      match
+        Interval_ctl.on_sample t.ctl (Probe.tseries t.obs) ~interval_ns
+          ~drain_backlog:(Manager.drain_backlog t.mgr)
+      with
       | Some ns ->
         Manager.set_interval t.mgr (Some ns);
         Probe.gauge "ckpt.interval_ns" ns;
@@ -53,7 +56,16 @@ let now_ns t = Clock.now (clock t)
 let store t = Kernel.store (kernel t)
 let checkpoint t = Manager.checkpoint t.mgr
 
+(* Asynchronous drain: one backlog step per op boundary (the follower
+   cores' "between operations" slot), plus a forced settle for callers
+   that need the staged version durable now.  Both are no-ops when
+   nothing is pending, so harness code calls them unconditionally. *)
+let drain_tick t = ignore (Manager.drain_step t.mgr)
+let drain_settle t = Manager.drain_settle t.mgr
+let drain_backlog t = Manager.drain_backlog t.mgr
+
 let tick t =
+  drain_tick t;
   (* burst feedforward: clamp the armed deadline to the interval floor
      when replies pile up on the rings while the interval sits near its
      idle ceiling (at most once per burst — see Interval_ctl) *)
@@ -64,6 +76,7 @@ let tick t =
          Interval_ctl.on_pressure t.ctl
            ~now_ns:(Clock.now (Kernel.clock (Manager.kernel t.mgr)))
            ~pending:(Probe.req_pending_enqueued ()) ~interval_ns
+           ~drain_backlog:(Manager.drain_backlog t.mgr)
        with
        | Some ns ->
          Manager.set_interval t.mgr (Some ns);
@@ -78,13 +91,25 @@ let version t = Manager.version t.mgr
 
 let advance_us t us =
   let target = now_ns t + (us * 1000) in
+  (* While a drain backlog is outstanding, advance in bounded slices and
+     step the drain at each: idle wall-clock is exactly when the follower
+     cores catch up, and a whole-interval jump would otherwise convert the
+     entire backlog into a stop-the-world settle at the next deadline. *)
+  let drain_slice_ns = 50_000 in
   let rec loop () =
     if now_ns t < target then begin
+      drain_tick t;
       (match Manager.next_deadline t.mgr with
       | Some d when d <= target ->
-        if now_ns t < d then Clock.advance (clock t) (d - now_ns t);
-        ignore (Manager.tick t.mgr)
-      | Some _ | None -> Clock.advance (clock t) (target - now_ns t));
+        if now_ns t < d then
+          if drain_backlog t > 0 then
+            Clock.advance (clock t) (min drain_slice_ns (d - now_ns t))
+          else Clock.advance (clock t) (d - now_ns t);
+        if now_ns t >= d then ignore (Manager.tick t.mgr)
+      | Some _ | None ->
+        if drain_backlog t > 0 then
+          Clock.advance (clock t) (min drain_slice_ns (target - now_ns t))
+        else Clock.advance (clock t) (target - now_ns t));
       loop ()
     end
   in

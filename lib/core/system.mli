@@ -52,9 +52,21 @@ val store : t -> Treesls_nvm.Store.t
 
 val checkpoint : t -> Report.t
 val tick : t -> Report.t option
-(** Checkpoint if the periodic deadline has passed.  With
-    [features.adaptive_interval] on, also polls the controller's burst
-    feedforward first (see {!Treesls_ckpt.Interval_ctl.on_pressure}). *)
+(** Checkpoint if the periodic deadline has passed.  Steps the async
+    drain first (one backlog batch per op boundary), then — with
+    [features.adaptive_interval] on — polls the controller's burst
+    feedforward (see {!Treesls_ckpt.Interval_ctl.on_pressure}). *)
+
+val drain_tick : t -> unit
+(** One asynchronous drain step; no-op when no window is pending. *)
+
+val drain_settle : t -> unit
+(** Force the pending drain window (if any) durable now; no-op otherwise.
+    Harness code that needs "everything up to here committed" (crashtest
+    twins, fingerprinting, final checkpoints) calls this unconditionally —
+    it is the identity in eager mode. *)
+
+val drain_backlog : t -> int
 
 val set_interval_us : t -> int option -> unit
 val version : t -> int

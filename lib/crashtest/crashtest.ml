@@ -7,6 +7,7 @@ module Store = Treesls_nvm.Store
 module Warea = Treesls_nvm.Warea
 module Crash_site = Treesls_nvm.Crash_site
 module Snapshot = Treesls_ckpt.Snapshot
+module Manager = Treesls_ckpt.Manager
 module Audit = Treesls_audit.Audit
 module Probe = Treesls_obs.Probe
 module Metrics = Treesls_obs.Metrics
@@ -67,10 +68,19 @@ let replay sys ops ~on_op =
            thread would wedge the trace *)
         let n = !notifs.(i mod Array.length !notifs) in
         if n.Kobj.nt_count > 0 then ignore (Ipc.wait (k ()) n (List.hd base.Kernel.threads))
-      | Touch i -> Kernel.touch_write (k ()) base ~vpn:(heap0 + (i mod !heap_pages))
+      | Touch i ->
+        (* concentrated on the first four heap pages: a stable hot set that
+           crosses the active-list promotion threshold, gets DRAM-cached,
+           and is dirty at (nearly) every checkpoint — which is what makes
+           hybrid stop-and-copy, drain backlogs and CoW-fault resolution
+           actually reachable in the schedule space (Write spreads) *)
+        Kernel.touch_write (k ()) base ~vpn:(heap0 + (i mod (min 8 !heap_pages)))
       | Write i ->
+        (* same hot set as Touch, via the byte-write path: write faults on
+           pages an async checkpoint left protected land here, exercising
+           CoW-fault resolution against a pending drain backlog *)
         Kernel.write_bytes (k ()) base
-          ~vaddr:(((heap0 + (i mod !heap_pages)) * psz) + 64)
+          ~vaddr:(((heap0 + (i mod (min 8 !heap_pages))) * psz) + 64)
           (Bytes.of_string (Printf.sprintf "w%06d" i))
       | Spawn ->
         incr spawned;
@@ -90,7 +100,17 @@ let replay sys ops ~on_op =
         let v = Kernel.grow_heap (k ()) base ~pages:2 in
         heap_pages := !heap_pages + 2;
         Kernel.touch_write (k ()) base ~vpn:v
-      | Ckpt -> ignore (System.checkpoint sys));
+      | Ckpt ->
+        ignore (System.checkpoint sys);
+        (* write-after-checkpoint on the hottest page: when the checkpoint
+           staged a drain window this hits a still-protected backlogged
+           page before any drain step runs — the CoW-fault resolution
+           path, deterministically, every async window *)
+        Kernel.touch_write (k ()) base ~vpn:heap0);
+      (* one async drain step per op boundary, mirroring System.tick — a
+         no-op in eager mode, and the mechanism that makes drain crash
+         sites fire mid-trace in async sweeps *)
+      System.drain_tick sys;
       on_op idx)
     ops
 
@@ -180,7 +200,9 @@ let known_wear_subsystems =
     "ckpt.captree";
     "ckpt.snapshot";
     "ckpt.cow";
+    "ckpt.cow_fault";
     "ckpt.hybrid";
+    "ckpt.drain";
     "restore";
     "restore.journal";
   ]
@@ -230,6 +252,8 @@ let tseries_check sys ~mark =
      victim's so the fresh sample lands in the ring under test *)
   Probe.install (System.obs sys);
   ignore (System.checkpoint sys);
+  (* async mode: the sample lands at settle, not at the STW *)
+  System.drain_settle sys;
   let ts = System.tseries sys in
   let total = Tseries.total ts in
   if total < total_before then
@@ -283,6 +307,7 @@ type config = {
   per_site_cap : int;  (* max hits sampled per site *)
   op_cap : int;  (* max DRAM-loss (and per-restore-site) op indices *)
   recovery_bug : bool;  (* deliberately break journal replay (must be caught) *)
+  async : bool;  (* run with the asynchronous drain on (Lazy, batch 1) *)
 }
 
 let default_config =
@@ -296,7 +321,31 @@ let default_config =
     per_site_cap = 8;
     op_cap = 12;
     recovery_bug = false;
+    async = false;
   }
+
+(* Boot one victim/twin system under the sweep's checkpoint mode.  Async
+   sweeps use the Lazy policy with a tiny batch so windows stay pending
+   across several ops — maximising the trace window in which the drain
+   crash sites and the CoW fault path are live. *)
+let boot_sys cfg =
+  let sys =
+    if cfg.async then
+      (* hair-trigger promotion: one fault puts a page on the active list,
+         so the hot set is DRAM-cached (and hence drain-backlogged) within
+         the first couple of checkpoint windows even in short traces *)
+      System.boot
+        ~active_cfg:{ Treesls_ckpt.Active_list.default_config with hot_threshold = 1 }
+        ()
+    else System.boot ()
+  in
+  if cfg.async then begin
+    let mgr = System.manager sys in
+    (Treesls_ckpt.Manager.features mgr).Treesls_ckpt.State.async_drain <- true;
+    Treesls_ckpt.Manager.set_drain_policy mgr Treesls_ckpt.Drain.Lazy;
+    Treesls_ckpt.Manager.set_drain_batch mgr 1
+  end;
+  sys
 
 let reproducer cfg p = Printf.sprintf "seed=%d;ops=%d;%s" cfg.seed cfg.ops (point_to_string p)
 
@@ -353,15 +402,17 @@ type plan = {
 let enumerate cfg =
   Crash_site.reset ();
   let ops = gen_trace ~seed:cfg.seed ~ops:cfg.ops in
-  let sys = System.boot () in
+  let sys = boot_sys cfg in
   ignore (System.checkpoint sys);
   let w = Store.warea (System.store sys) in
   let first_point = Warea.commit_points w in
   Crash_site.record ();
   replay sys ops ~on_op:(fun _ -> ());
   (* one final checkpoint so the tail of the trace is also covered by
-     checkpoint crash sites *)
+     checkpoint crash sites; settle its drain window so the drain/settle
+     sites of the tail are enumerated too *)
   ignore (System.checkpoint sys);
+  System.drain_settle sys;
   let last_point = Warea.commit_points w in
   let site_hits = Crash_site.counts () in
   Crash_site.reset ();
@@ -392,25 +443,37 @@ let schedules_of_plan cfg plan =
 (* ---- twin oracle ------------------------------------------------------ *)
 
 (* The crash-free twin for recovered version [g]: replay the same trace,
-   stop as soon as version [g] has committed, then crash+recover — the
+   stop at the very instant version [g] commits, then crash+recover — the
    recovery normalises runtime-only state (thread run states, page
    placement) exactly as it did for the victim, so the fingerprints are
-   comparable.  Cached per version: the whole sweep shares one twin per
-   commit version. *)
+   comparable.  The stop must be at the commit itself, not a per-op poll:
+   one checkpoint call can commit two versions back to back (the forced
+   settle of the pending window, then the new window settling immediately
+   when its backlog is empty), so a poll between ops can overshoot [g].
+   The on_checkpoint callback fires at every commit — eager checkpoints
+   and drain settles alike — and raising from it abandons only
+   volatile post-commit work, which the crash would lose anyway.
+   Cached per version: the whole sweep shares one twin per commit
+   version. *)
 let twin_fingerprint cache cfg g =
   match Hashtbl.find_opt cache g with
   | Some fp -> fp
   | None ->
     Crash_site.reset ();
     let ops = gen_trace ~seed:cfg.seed ~ops:cfg.ops in
-    let sys = System.boot () in
-    ignore (System.checkpoint sys);
+    let sys = boot_sys cfg in
     (try
+       Manager.on_checkpoint (System.manager sys) (fun () ->
+           if System.version sys >= g then raise Stop);
+       ignore (System.checkpoint sys);
+       replay sys ops ~on_op:(fun _ -> ());
+       (* trace exhausted below g: the victim's g came from the trace
+          tail — a still-pending window, or the final enumeration
+          checkpoint *)
+       System.drain_settle sys;
        if System.version sys < g then begin
-         replay sys ops ~on_op:(fun _ -> if System.version sys >= g then raise Stop);
-         (* trace exhausted below g: the victim's g came from the final
-            enumeration checkpoint *)
-         if System.version sys < g then ignore (System.checkpoint sys)
+         ignore (System.checkpoint sys);
+         System.drain_settle sys
        end
      with Stop -> ());
     ignore (System.crash_and_recover sys);
@@ -430,6 +493,7 @@ let liveness_check sys =
     Kernel.touch_write k p ~vpn:v;
     Kernel.touch_write k p ~vpn:(v + 1);
     ignore (System.checkpoint sys);
+    System.drain_settle sys;
     let rep = System.audit sys in
     if Audit.errors rep > 0 then Some (Printf.sprintf "%d audit errors after new work" (Audit.errors rep))
     else None
@@ -443,7 +507,7 @@ let liveness_check sys =
 let run_one_profiled ?(twins = Hashtbl.create 8) cfg point =
   Crash_site.reset ();
   let ops = gen_trace ~seed:cfg.seed ~ops:cfg.ops in
-  let sys = System.boot () in
+  let sys = boot_sys cfg in
   ignore (System.checkpoint sys);
   let w = Store.warea (System.store sys) in
   if cfg.recovery_bug then Warea.set_recovery_bug w true;
@@ -457,7 +521,8 @@ let run_one_profiled ?(twins = Hashtbl.create 8) cfg point =
      replay sys ops ~on_op:(fun i ->
          match stop_at with Some k when i = k -> raise Stop | _ -> ());
      (* cover the trace tail, mirroring the enumeration run *)
-     ignore (System.checkpoint sys)
+     ignore (System.checkpoint sys);
+     System.drain_settle sys
    with
   | Warea.Crashed _ -> fired := true
   | Stop -> fired := true);

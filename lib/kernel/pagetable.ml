@@ -24,6 +24,14 @@ let protect t ~vpn =
   | None -> ()
   | Some pte -> pte.writable <- false
 
+(* Drop CoW protection without entering the dirty-tracking list: the drain
+   uses this to reopen pages whose copy is already banked, where
+   [make_writable] would wrongly nominate them for the next protect pass. *)
+let unprotect t ~vpn =
+  match Hashtbl.find_opt t.entries vpn with
+  | None -> ()
+  | Some pte -> pte.writable <- true
+
 let make_writable t ~vpn =
   match Hashtbl.find_opt t.entries vpn with
   | None -> invalid_arg "Pagetable.make_writable: unmapped"

@@ -36,6 +36,12 @@ val make_writable : t -> vpn:int -> unit
 (** Fault path: upgrade to writable and record the page dirty.
     Raises [Invalid_argument] if unmapped. *)
 
+val unprotect : t -> vpn:int -> unit
+(** Drop CoW protection {e without} recording the page dirty: used by the
+    asynchronous drain to reopen pages whose copy is already banked —
+    {!make_writable} would wrongly nominate them for the next checkpoint's
+    protect pass. No-op if unmapped. *)
+
 val remap : t -> vpn:int -> paddr:Treesls_nvm.Paddr.t -> unit
 (** Replace the physical page of an existing mapping (page migration),
     preserving the writable and dirty bits. *)

@@ -66,6 +66,13 @@ let run ?wear mgr =
   let store = Kernel.store kernel in
   let meta = Store.meta store in
   let g = Global_meta.version meta in
+  (* Async drain: between a publish and its settle the system legitimately
+     holds state stamped one version above the committed [g] — staged
+     snapshots, restamped/drain-saved backups, an In_progress meta.  Stamp
+     checks run against [limit]; the restore-choice replay below stays at
+     [g], because that is what a crash right now would restore to. *)
+  let pending_ver = Manager.drain_pending_version mgr in
+  let limit = match pending_ver with Some v -> max v g | None -> g in
   let violations = ref [] in
   let add ?obj_id ?pno ?paddr severity subsystem fmt =
     Printf.ksprintf
@@ -75,8 +82,9 @@ let run ?wear mgr =
   in
   let objects_checked = ref 0 and pages_checked = ref 0 in
 
-  (* Meta / journal: a quiesced system is outside any STW pause. *)
-  if Global_meta.status meta <> Global_meta.Idle then
+  (* Meta / journal: a quiesced system is outside any STW pause (a pending
+     drain window legitimately keeps the meta In_progress until settle). *)
+  if Global_meta.status meta <> Global_meta.Idle && pending_ver = None then
     add Error Meta "checkpoint marked in flight on a quiesced system";
   if Store.journal_in_flight store then
     add Error Journal "allocator journal holds an un-truncated record outside a checkpoint";
@@ -94,20 +102,25 @@ let run ?wear mgr =
     if oroot.Oroot.first_ver > oroot.Oroot.last_seen_ver then
       add Error "ORoot first_ver v%d above last_seen_ver v%d" oroot.Oroot.first_ver
         oroot.Oroot.last_seen_ver;
-    if oroot.Oroot.first_ver > g then
+    if oroot.Oroot.first_ver > limit then
       add Error "ORoot born in uncommitted checkpoint v%d (committed v%d)"
         oroot.Oroot.first_ver g;
-    if oroot.Oroot.last_seen_ver > g then
+    if oroot.Oroot.last_seen_ver > limit then
       add Error "ORoot walked by uncommitted checkpoint v%d (committed v%d)"
         oroot.Oroot.last_seen_ver g
-    else if oroot.Oroot.last_seen_ver < g && not (Hashtbl.mem reachable oid) then
+    else if
+      oroot.Oroot.last_seen_ver < g
+      && (not (Hashtbl.mem reachable oid))
+      && pending_ver = None
+    then
       (* live objects may legitimately carry a stale last_seen_ver: the
          incremental walk skips clean objects without refreshing it — only
-         an *unreachable* object with a surviving ORoot was missed by GC *)
+         an *unreachable* object with a surviving ORoot was missed by GC
+         (deferred to settle while a drain window is pending) *)
       add Warning "stale ORoot missed by GC (last walked v%d, committed v%d)"
         oroot.Oroot.last_seen_ver g;
     let slot name = function
-      | Some (v, _) when v > g ->
+      | Some (v, _) when v > limit ->
         add Error "snapshot slot %s stamped v%d above committed v%d" name v g
       | Some _ | None -> ()
     in
@@ -143,11 +156,11 @@ let run ?wear mgr =
         (fun pno (cp : Ckpt_page.cp) ->
           incr pages_checked;
           let add ?paddr sev fmt = add ~obj_id:oid ~pno ?paddr sev Pages fmt in
-          if cp.Ckpt_page.born_ver > g then
+          if cp.Ckpt_page.born_ver > limit then
             add Error "page record born at v%d above committed v%d" cp.Ckpt_page.born_ver g;
-          if cp.Ckpt_page.b1_ver > g then
+          if cp.Ckpt_page.b1_ver > limit then
             add Error "backup b1 stamped v%d above committed v%d" cp.Ckpt_page.b1_ver g;
-          if cp.Ckpt_page.b2_ver > g then
+          if cp.Ckpt_page.b2_ver > limit then
             add Error "backup b2 stamped v%d above committed v%d" cp.Ckpt_page.b2_ver g;
           let nvm_only name = function
             | Some p when not (Paddr.is_nvm p) ->
@@ -282,6 +295,12 @@ let run ?wear mgr =
     | None -> Hashtbl.replace roles idx role
   in
   List.iter (fun off -> claim off "slab page") (Slab.slab_pages slab);
+  (* In-flight drain frames: version-N content saved by CoW faults during a
+     pending window, referenced only by the drain's saved table until
+     settle installs them (or restore frees them). *)
+  List.iter
+    (fun (p : Paddr.t) -> claim p.Paddr.idx "drain-saved frame")
+    (Manager.drain_saved_frames mgr);
   let claim_radix ~obj_id radix role =
     Radix.iter
       (fun pno paddr -> if Paddr.is_nvm paddr then claim ~obj_id ~pno paddr.Paddr.idx role)

@@ -29,6 +29,8 @@ let aliases =
     ("ring.dropped", ("extsync.ring.dropped", 1.0));
     ("stw", ("ckpt.stw_ns", 1.0));
     ("dirty_pct", ("ckpt.dirty_fraction_pct", 1.0));
+    ("drain.backlog", ("ckpt.drain.backlog", 1.0));
+    ("pages_protected", ("ckpt.pages.protected.last", 1.0));
   ]
 
 let resolve name = match List.assoc_opt name aliases with Some cs -> cs | None -> (name, 1.0)
@@ -154,7 +156,17 @@ let rule_to_string r =
   Printf.sprintf "%s %s %s" (expr_to_string r.r_lhs) (cmp_to_string r.r_cmp)
     (expr_to_string r.r_rhs)
 
-let default_rule_texts = [ "p99(enq2vis) < 2*interval"; "waf < 3"; "rate(ring.dropped) == 0" ]
+(* Drain invariant: per-window backlog never exceeds the protection flips
+   it rode on.  Compared max-over-window on BOTH sides (the gauges are
+   per-commit and pointwise backlog <= protected by construction), so the
+   rule only fires when deferred copies leak across windows. *)
+let default_rule_texts =
+  [
+    "p99(enq2vis) < 2*interval";
+    "waf < 3";
+    "rate(ring.dropped) == 0";
+    "max(drain.backlog) <= max(pages_protected)";
+  ]
 
 let default_rules =
   List.map

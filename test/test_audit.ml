@@ -229,7 +229,7 @@ let diff_sees_added_objects () =
 let report_pp_pinned () =
   check_string "zero report"
     "ckpt v0: stw=0.0us (ipi=0.0 captree=0.0 others=0.0 | hybrid=0.0) objs=0(full 0) \
-     skip=0 ro=0 sc=0 mig=+0/-0 cached=0 snap=0B nvm=0B/0B waf=0.00"
+     skip=0 ro=0 sc=0 mig=+0/-0 cached=0 snap=0B nvm=0B/0B waf=0.00 drain=0/0.0us cowf=0"
     (Format.asprintf "%a" Report.pp Report.zero);
   let r =
     {
@@ -256,6 +256,9 @@ let report_pp_pinned () =
       snapshot_bytes = 2_048;
       nvm_bytes_written = 163_840;
       logical_dirty_bytes = 81_920;
+      pages_drained = 6;
+      cow_faults = 2;
+      drain_ns = 4_300;
     }
   in
   (* per_kind_ns prints sorted by kind name, per_group costliest-first,
@@ -263,7 +266,7 @@ let report_pp_pinned () =
   check_string "full report"
     "ckpt v7: stw=12.4us (ipi=1.0 captree=8.0 others=0.4 | hybrid=9.5) objs=42(full 5) \
      skip=78 ro=17 sc=3 mig=+2/-1 cached=64 snap=2048B nvm=163840B/81920B waf=2.00 \
-     kinds=[Cap Group=1500ns; PMO=4200ns; Thread=800ns] \
+     drain=6/4.3us cowf=2 kinds=[Cap Group=1500ns; PMO=4200ns; Thread=800ns] \
      groups=[memcached=5100ns/20; shell=1200ns/9]"
     (Format.asprintf "%a" Report.pp r);
   (* folded flamegraph lines: frames never contain spaces; unattributed

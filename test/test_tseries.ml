@@ -204,7 +204,7 @@ let controller_feedback () =
   let ctl = Interval_ctl.create ctl_cfg in
   let ts = Tseries.create () in
   busy ts ~p99:400_000;
-  (match Interval_ctl.on_sample ctl ts ~interval_ns:500_000 with
+  (match Interval_ctl.on_sample ctl ts ~drain_backlog:0 ~interval_ns:500_000 with
   | Some ns -> check_int "max shrink is halving" 250_000 ns
   | None -> Alcotest.fail "expected a retune");
   check_int "retune counted" 1 (Interval_ctl.retunes ctl);
@@ -212,45 +212,77 @@ let controller_feedback () =
   let ctl = Interval_ctl.create ctl_cfg in
   let ts = Tseries.create () in
   busy ts ~p99:100_000;
-  (match Interval_ctl.on_sample ctl ts ~interval_ns:200_000 with
+  (match Interval_ctl.on_sample ctl ts ~drain_backlog:0 ~interval_ns:200_000 with
   | Some ns -> check_bool "grows on headroom" true (ns > 200_000 && ns <= 300_000)
   | None -> Alcotest.fail "expected growth");
   (* idle commit: released nothing -> fast back-off, clamped at the ceiling *)
   let ctl = Interval_ctl.create ctl_cfg in
   let ts = Tseries.create () in
   Tseries.record ts ~ts_ns:0 ~version:1 [ ("req.enq2vis.n", 0) ];
-  (match Interval_ctl.on_sample ctl ts ~interval_ns:800_000 with
+  (match Interval_ctl.on_sample ctl ts ~drain_backlog:0 ~interval_ns:800_000 with
   | Some ns -> check_int "idle growth clamps to max" 1_000_000 ns
   | None -> Alcotest.fail "expected idle growth");
   (* no sample yet -> no opinion *)
   let ctl = Interval_ctl.create ctl_cfg in
   check_bool "empty black box proposes nothing" true
-    (Interval_ctl.on_sample ctl (Tseries.create ()) ~interval_ns:500_000 = None)
+    (Interval_ctl.on_sample ctl (Tseries.create ()) ~drain_backlog:0 ~interval_ns:500_000 = None)
 
 let controller_pressure () =
   let ctl = Interval_ctl.create ctl_cfg in
   let th = ctl_cfg.Interval_ctl.pressure_threshold in
   (* a burst against a long idle interval clamps to the floor... *)
-  (match Interval_ctl.on_pressure ctl ~now_ns:1_000 ~pending:th ~interval_ns:1_000_000 with
+  (match Interval_ctl.on_pressure ctl ~drain_backlog:0 ~now_ns:1_000 ~pending:th ~interval_ns:1_000_000 with
   | Some ns -> check_int "clamps to the floor" 100_000 ns
   | None -> Alcotest.fail "expected the burst clamp");
   (* ...but only once: an immediate re-poll must not re-postpone the
      armed deadline (cooldown)... *)
   check_bool "cooldown blocks a re-fire" true
-    (Interval_ctl.on_pressure ctl ~now_ns:2_000 ~pending:(th * 2) ~interval_ns:1_000_000 = None);
+    (Interval_ctl.on_pressure ctl ~drain_backlog:0 ~now_ns:2_000 ~pending:(th * 2) ~interval_ns:1_000_000 = None);
   (* ...and once the interval sits near the floor the clamp stays off
      even after the cooldown (re-arm guard) *)
   check_bool "rearm guard near the floor" true
-    (Interval_ctl.on_pressure ctl ~now_ns:500_000 ~pending:(th * 2) ~interval_ns:150_000 = None);
+    (Interval_ctl.on_pressure ctl ~drain_backlog:0 ~now_ns:500_000 ~pending:(th * 2) ~interval_ns:150_000 = None);
   (* a later burst against a re-grown interval fires again *)
-  (match Interval_ctl.on_pressure ctl ~now_ns:900_000 ~pending:th ~interval_ns:900_000 with
+  (match Interval_ctl.on_pressure ctl ~drain_backlog:0 ~now_ns:900_000 ~pending:th ~interval_ns:900_000 with
   | Some _ -> ()
   | None -> Alcotest.fail "expected a second burst clamp");
   check_int "two clamps" 2 (Interval_ctl.pressure_clamps ctl);
   (* below threshold never fires *)
   check_bool "no pressure, no clamp" true
-    (Interval_ctl.on_pressure ctl ~now_ns:9_000_000 ~pending:(th - 1) ~interval_ns:1_000_000
+    (Interval_ctl.on_pressure ctl ~drain_backlog:0 ~now_ns:9_000_000 ~pending:(th - 1) ~interval_ns:1_000_000
     = None)
+
+let controller_drain_hold () =
+  (* overshoot while a drain backlog is outstanding: the controller must
+     hold the interval (shrinking would re-enter the STW while copies are
+     still owed), not shrink *)
+  let ctl = Interval_ctl.create ctl_cfg in
+  let ts = Tseries.create () in
+  busy ts ~p99:400_000;
+  check_bool "shrink suppressed while backlog nonzero" true
+    (Interval_ctl.on_sample ctl ts ~drain_backlog:7 ~interval_ns:500_000 = None);
+  check_int "held retune not counted" 0 (Interval_ctl.retunes ctl);
+  (* ...but growth is still allowed: a longer interval only gives the
+     drain more room *)
+  let ctl = Interval_ctl.create ctl_cfg in
+  let ts = Tseries.create () in
+  busy ts ~p99:100_000;
+  (match Interval_ctl.on_sample ctl ts ~drain_backlog:7 ~interval_ns:200_000 with
+  | Some ns -> check_bool "growth allowed under backlog" true (ns > 200_000)
+  | None -> Alcotest.fail "expected growth despite backlog");
+  (* burst feedforward is likewise held while the backlog is nonzero *)
+  let ctl = Interval_ctl.create ctl_cfg in
+  let th = ctl_cfg.Interval_ctl.pressure_threshold in
+  check_bool "pressure clamp held under backlog" true
+    (Interval_ctl.on_pressure ctl ~drain_backlog:3 ~now_ns:1_000 ~pending:th
+       ~interval_ns:1_000_000
+    = None);
+  (match
+     Interval_ctl.on_pressure ctl ~drain_backlog:0 ~now_ns:2_000 ~pending:th
+       ~interval_ns:1_000_000
+   with
+  | Some ns -> check_int "clamp fires once the backlog settles" 100_000 ns
+  | None -> Alcotest.fail "expected the clamp after settle")
 
 let controller_bad_config () =
   Alcotest.check_raises "inverted bounds rejected"
@@ -350,6 +382,7 @@ let () =
         [
           Alcotest.test_case "feedback step" `Quick controller_feedback;
           Alcotest.test_case "pressure clamp fires once" `Quick controller_pressure;
+          Alcotest.test_case "drain backlog holds the interval" `Quick controller_drain_hold;
           Alcotest.test_case "bad config" `Quick controller_bad_config;
         ] );
       ( "system",
