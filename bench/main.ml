@@ -54,6 +54,9 @@ let experiments =
     ( "adaptive",
       ("Adaptive checkpoint interval vs statics on a bursty workload (SLO gate)", Exp_adaptive.run)
     );
+    ( "multitenant",
+      ("Multi-tenant serving: per-tenant p99 + STW attribution vs tenant count", Exp_multitenant.run)
+    );
     ( "async_drain",
       ("Split-capture checkpoint: async drain vs eager stop-and-copy (STW/WAF/p99 gate)",
        Exp_async_drain.run) );

@@ -5,6 +5,7 @@
                                              ... per-kind deltas vs the Default system
      treesls_cli run -w redis -n 20000       run a workload with 1ms checkpoints
      treesls_cli run -w memcached --crash 3  inject 3 power failures while running
+     treesls_cli serve --tenants 16 --crash 2 multi-tenant serving; rings reclaimed by name
      treesls_cli ckpt                        one checkpoint, print the breakdown
      treesls_cli ckpt top -w redis -n 5000   STW time ranked by capability subtree
      treesls_cli ckpt top --folded stw.folded   ... plus collapsed stacks for flamegraphs
@@ -885,6 +886,139 @@ let crashtest_cmd =
           fingerprint equivalence against a crash-free twin; exits 2 on any failing schedule")
     Term.(const run $ seed_arg $ ops $ max_commits $ schedule $ with_bug $ json_arg)
 
+let serve_cmd =
+  let module Serve = Treesls_serve.Serve in
+  let module Tenant = Treesls_serve.Tenant in
+  let module Rtrace = Treesls_obs.Rtrace in
+  let module Drain = Treesls_ckpt.Drain in
+  let tenants_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "tenants" ] ~docv:"N"
+          ~doc:"Tenants to serve (each gets its own cap subtree, KV shard and named reply ring)")
+  in
+  let ops =
+    Arg.(
+      value & opt int 400
+      & info [ "n"; "ops" ] ~docv:"N" ~doc:"YCSB operations per tenant (open loop)")
+  in
+  let gap =
+    Arg.(
+      value & opt int 10_000
+      & info [ "gap-ns" ] ~docv:"NS" ~doc:"Per-tenant arrival gap in nanoseconds")
+  in
+  let eager =
+    Arg.(
+      value & flag
+      & info [ "eager" ]
+          ~doc:
+            "Ablation mode: eager full-walk checkpoints instead of the default \
+             incremental walk + asynchronous drain")
+  in
+  let run tenants ops interval crashes seed gap eager json =
+    if tenants <= 0 then begin
+      prerr_endline "serve: need at least one tenant";
+      exit 1
+    end;
+    let features =
+      {
+        Treesls_ckpt.State.ckpt_enabled = true;
+        track_dirty = true;
+        copy_on_fault = true;
+        hybrid = true;
+        incremental_walk = not eager;
+        adaptive_interval = false;
+        async_drain = not eager;
+      }
+    in
+    let nvm_pages = if tenants >= 32 then 1 lsl 18 else 1 lsl 17 in
+    let sys = System.boot ~interval_us:(max 1 interval) ~features ~nvm_pages () in
+    if not eager then begin
+      Manager.set_drain_policy (System.manager sys) Drain.Lazy;
+      Manager.set_drain_batch (System.manager sys) 16
+    end;
+    (* split the op budget into crash-separated segments: every tenant's
+       ring and store must come back by name after each power failure *)
+    let segments = crashes + 1 in
+    let per_segment = max 1 (ops / segments) in
+    let cfg =
+      {
+        Serve.default_cfg with
+        Serve.tenants;
+        ops_per_tenant = per_segment;
+        gap_ns = gap;
+        seed = Int64.of_int seed;
+      }
+    in
+    let srv = Serve.create sys cfg in
+    for seg = 1 to segments do
+      Serve.run srv;
+      if seg < segments then begin
+        let r = System.crash_and_recover sys in
+        Printf.printf "crash after segment %d: rolled back to v%d (%d objects restored)\n%!" seg
+          r.Treesls_ckpt.Restore.version r.Treesls_ckpt.Restore.restored_objects
+      end
+    done;
+    let rows = Serve.rows srv in
+    let attribution = Serve.attribution srv in
+    let total_attr_ns = List.fold_left (fun a (_, ns) -> a + ns) 0 attribution in
+    let us v = float_of_int v /. 1e3 in
+    if json then begin
+      let row_json (r : Serve.row) =
+        Printf.sprintf
+          "{\"tenant\":%S,\"sent\":%d,\"shed\":%d,\"delivered\":%d,\"keys\":%d,\"enq2vis_p50_ns\":%d,\"enq2vis_p99_ns\":%d,\"e2e_p99_ns\":%d,\"walk_ns\":%d,\"walk_objects\":%d}"
+          r.Serve.r_tenant r.Serve.r_sent r.Serve.r_shed r.Serve.r_delivered r.Serve.r_keys
+          r.Serve.r_enq2vis.Rtrace.s_p50_ns r.Serve.r_enq2vis.Rtrace.s_p99_ns
+          r.Serve.r_e2e.Rtrace.s_p99_ns r.Serve.r_group_ns r.Serve.r_group_objects
+      in
+      Printf.printf
+        "{\"tenants\":[%s],\"commits\":%d,\"stw_mean_ns\":%.0f,\"captree_ns\":%d,\"attribution_exact\":%b}\n"
+        (String.concat "," (List.map row_json rows))
+        (List.length (Serve.reports srv))
+        (Serve.stw_mean_ns srv) (Serve.captree_total srv) (Serve.attribution_exact srv)
+    end
+    else begin
+      Printf.printf "%d tenants x %d ops (%dns gap, %dus interval, %s): %d commits\n\n" tenants
+        (per_segment * segments) gap (max 1 interval)
+        (if eager then "eager full-walk" else "incremental+async")
+        (List.length (Serve.reports srv));
+      Printf.printf "  %-6s %8s %6s %10s %6s %12s %12s %12s %10s\n" "tenant" "sent" "shed"
+        "delivered" "keys" "e2v p50 us" "e2v p99 us" "e2e p99 us" "walk share";
+      List.iter
+        (fun (r : Serve.row) ->
+          Printf.printf "  %-6s %8d %6d %10d %6d %12.1f %12.1f %12.1f %9.1f%%\n" r.Serve.r_tenant
+            r.Serve.r_sent r.Serve.r_shed r.Serve.r_delivered r.Serve.r_keys
+            (us r.Serve.r_enq2vis.Rtrace.s_p50_ns)
+            (us r.Serve.r_enq2vis.Rtrace.s_p99_ns)
+            (us r.Serve.r_e2e.Rtrace.s_p99_ns)
+            (if total_attr_ns = 0 then 0.0
+             else 100.0 *. float_of_int r.Serve.r_group_ns /. float_of_int total_attr_ns))
+        rows;
+      Printf.printf "\ncheckpoint walk attribution (all commits):\n";
+      List.iteri
+        (fun i (g, ns) ->
+          if i < tenants + 4 then
+            Printf.printf "  %-16s %10.1fus %9.1f%%\n" g (us ns)
+              (100.0 *. float_of_int ns /. float_of_int (max 1 total_attr_ns)))
+        attribution;
+      Printf.printf "\nmean STW %.1fus; per-group walk ns sum %s captree ns\n"
+        (Serve.stw_mean_ns srv /. 1e3)
+        (if Serve.attribution_exact srv then "== (exact)" else "!= (BROKEN)")
+    end;
+    if not (Serve.attribution_exact srv) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Multi-tenant YCSB serving: N tenants, each an isolated capability subtree with its \
+          own KV shard and named persistent reply ring, driven open-loop; prints per-tenant \
+          visible-latency percentiles and the per-subtree checkpoint walk attribution. \
+          Power failures injected with --crash land between segments; every tenant's ring \
+          is reclaimed strictly by name on recovery.")
+    Term.(
+      const run $ tenants_arg $ ops $ interval_arg $ crashes_arg $ seed_arg $ gap $ eager
+      $ json_arg)
+
 let () =
   let doc = "TreeSLS whole-system persistent microkernel simulator" in
   exit
@@ -892,6 +1026,6 @@ let () =
        (Cmd.group
           (Cmd.info "treesls_cli" ~doc)
           [
-            census_cmd; ckpt_cmd; run_cmd; trace_cmd; metrics_cmd; inspect_cmd; wear_cmd;
-            doctor_cmd; diff_cmd; crashtest_cmd; rto_cmd; tseries_cmd; slo_cmd;
+            census_cmd; ckpt_cmd; run_cmd; serve_cmd; trace_cmd; metrics_cmd; inspect_cmd;
+            wear_cmd; doctor_cmd; diff_cmd; crashtest_cmd; rto_cmd; tseries_cmd; slo_cmd;
           ]))

@@ -4,19 +4,25 @@ module Ipc = Treesls_kernel.Ipc
 module Kobj = Treesls_cap.Kobj
 module Cost = Treesls_sim.Cost
 
-type profile = Memcached | Redis
+type profile = Memcached | Redis | Shard
 
 (* Census shaping per Table 2: (threads, ipcs, notifs, extra_pmos) for the
    server and the client process of each profile. The sums, together with
    the process skeleton (cap group, VM space, code PMO, stack PMOs) and the
-   store/buffer regions, reproduce the paper's relative object counts. *)
+   store/buffer regions, reproduce the paper's relative object counts.
+   [Shard] is a deliberately small census so a multi-tenant run can pack
+   64 instances without the per-tenant object count dominating. *)
 let census = function
   | Redis -> (("redis", 13, 27, 3, 100), ("redis-cli", 64, 32, 3, 21))
   | Memcached -> (("memcached", 10, 10, 9, 60), ("memcached-cli", 32, 8, 8, 29))
+  | Shard -> (("kvshard", 4, 6, 2, 24), ("kvshard-cli", 6, 4, 2, 10))
 
 type t = {
   sys : System.t;
   profile : profile;
+  server_name : string;
+  client_name : string;
+  origin_prefix : string;
   mutable server_p : Kernel.process;
   mutable client_p : Kernel.process;
   mutable kv : Kvstore.t;
@@ -50,8 +56,14 @@ let handler kv payload =
 
 let register t = Ipc.register_handler (System.kernel t.sys) t.conn (handler t.kv)
 
-let launch ?(keys_hint = 100_000) ?(value_size = 100) sys profile =
+let launch ?(keys_hint = 100_000) ?(value_size = 100) ?instance sys profile =
   let (sname, sth, sipc, snot, spmo), (cname, cth, cipc, cnot, cpmo) = census profile in
+  (* [instance] disambiguates multiple launches of the same profile: it
+     suffixes both process names (so refresh finds the right pair) and
+     prefixes request origins (so rtrace can answer per tenant). *)
+  let suffix = match instance with Some s -> "." ^ s | None -> "" in
+  let sname = sname ^ suffix and cname = cname ^ suffix in
+  let origin_prefix = match instance with Some s -> s ^ "/" | None -> "" in
   let server_p = Launchpad.make_proc sys ~name:sname ~threads:sth ~ipcs:sipc ~notifs:snot ~extra_pmos:spmo in
   let client_p = Launchpad.make_proc sys ~name:cname ~threads:cth ~ipcs:cipc ~notifs:cnot ~extra_pmos:cpmo in
   let k = System.kernel sys in
@@ -67,6 +79,9 @@ let launch ?(keys_hint = 100_000) ?(value_size = 100) sys profile =
     {
       sys;
       profile;
+      server_name = sname;
+      client_name = cname;
+      origin_prefix;
       server_p;
       client_p;
       kv;
@@ -82,9 +97,8 @@ let launch ?(keys_hint = 100_000) ?(value_size = 100) sys profile =
   t
 
 let refresh t =
-  let (sname, _, _, _, _), (cname, _, _, _, _) = census t.profile in
-  t.server_p <- Launchpad.find_proc t.sys ~name:sname;
-  t.client_p <- Launchpad.find_proc t.sys ~name:cname;
+  t.server_p <- Launchpad.find_proc t.sys ~name:t.server_name;
+  t.client_p <- Launchpad.find_proc t.sys ~name:t.client_name;
   let k = System.kernel t.sys in
   t.kv <- Kvstore.attach k t.server_p ~vpn:t.kv_vpn;
   (* the connection object survived in the tree; find it again *)
@@ -121,7 +135,7 @@ let origin_of payload =
 let call t payload =
   (* each client op is an externally-driven request: id assigned here,
      carried implicitly through Ipc.call and any Net_server.send *)
-  ignore (Treesls_obs.Probe.req_arrive ~origin:(origin_of payload));
+  ignore (Treesls_obs.Probe.req_arrive ~origin:(t.origin_prefix ^ origin_of payload));
   client_stage t payload;
   Ipc.call (System.kernel t.sys) t.conn payload
 
@@ -149,5 +163,7 @@ let get_i t i = get t ~key:(Printf.sprintf "key%08d" i)
 
 let server t = t.server_p
 let client t = t.client_p
+let server_name t = t.server_name
+let client_name t = t.client_name
 let kv t = t.kv
 let value_size t = t.value_size

@@ -13,13 +13,19 @@
 module Kernel = Treesls_kernel.Kernel
 module System = Treesls.System
 
-type profile = Memcached | Redis
+type profile = Memcached | Redis | Shard
+(** [Shard] is a small-census profile for multi-tenant packing: the same
+    real IPC/store path, a fraction of the per-instance object count. *)
 
 type t
 
 val launch :
-  ?keys_hint:int -> ?value_size:int -> System.t -> profile -> t
-(** [keys_hint] sizes the hash table and region (default 100_000). *)
+  ?keys_hint:int -> ?value_size:int -> ?instance:string -> System.t -> profile -> t
+(** [keys_hint] sizes the hash table and region (default 100_000).
+    [instance] disambiguates multiple launches of the same profile: it
+    suffixes both process names (e.g. ["kvshard.t3"]) and prefixes request
+    origins (["t3/kv.set"]), so post-crash {!refresh} and per-tenant
+    rtrace queries resolve the right instance. *)
 
 val refresh : t -> unit
 (** Post-recovery: re-find processes, re-open the store, re-register the
@@ -27,6 +33,12 @@ val refresh : t -> unit
 
 val server : t -> Kernel.process
 val client : t -> Kernel.process
+
+val server_name : t -> string
+(** Instance-qualified process name, as it appears in [Report.per_group]
+    attribution. *)
+
+val client_name : t -> string
 val kv : t -> Kvstore.t
 val value_size : t -> int
 

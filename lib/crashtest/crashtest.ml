@@ -8,6 +8,7 @@ module Warea = Treesls_nvm.Warea
 module Crash_site = Treesls_nvm.Crash_site
 module Snapshot = Treesls_ckpt.Snapshot
 module Manager = Treesls_ckpt.Manager
+module Net_server = Treesls_extsync.Net_server
 module Audit = Treesls_audit.Audit
 module Probe = Treesls_obs.Probe
 module Metrics = Treesls_obs.Metrics
@@ -45,14 +46,44 @@ let gen_trace ~seed ~ops =
 
 exception Stop
 
+(* The two named extsync rings the trace drives.  Deliberately the SAME
+   geometry: after a crash they are distinguishable only by the name
+   persisted in their headers, which is exactly the reattach path under
+   test.  Tiny, so the trace sheds and wraps them constantly. *)
+let ct_ring_a = "ct.a"
+let ct_ring_b = "ct.b"
+let ct_ring_slots = 4
+let ct_ring_slot_size = 48
+
 (* Replay [ops] on a freshly booted [sys] (after its baseline checkpoint).
    [on_op i] runs after op [i] (0-based) completes — the hook the explorer
    uses to stop early (DRAM-loss crashes, twin replay).  An armed crash
    raising {!Warea.Crashed} mid-op escapes to the caller with the driver
-   state simply abandoned, as a real power cut would leave it. *)
-let replay sys ops ~on_op =
+   state simply abandoned, as a real power cut would leave it.
+
+   [delivered] shadows the two rings' persistent delivered counters in
+   DRAM: each ring's deliver callback bumps its ref.  No crash site can
+   fire between [Ring.set_meta] and the callback (neither touches the
+   journal), so whenever {!Warea.Crashed} escapes, the refs equal the
+   counts durably in NVM — the exact post-recovery oracle. *)
+let replay ?(delivered = (ref 0, ref 0)) sys ops ~on_op =
   let k () = System.kernel sys in
   let base = Kernel.create_process (k ()) ~name:"driver" ~threads:1 ~prio:5 in
+  let da, db = delivered in
+  let mgr = System.manager sys in
+  (* map the rings BEFORE the heap: Touch/Write assume the heap region is
+     vaddr-contiguous across Grow ops, so nothing may claim the vpns right
+     after it *)
+  let net_a =
+    Net_server.create (k ()) mgr ~proc:base ~name:ct_ring_a ~slots:ct_ring_slots
+      ~slot_size:ct_ring_slot_size
+      ~deliver:(fun ~client:_ ~sent_ns:_ ~payload:_ -> incr da)
+  in
+  let net_b =
+    Net_server.create (k ()) mgr ~proc:base ~name:ct_ring_b ~slots:ct_ring_slots
+      ~slot_size:ct_ring_slot_size
+      ~deliver:(fun ~client:_ ~sent_ns:_ ~payload:_ -> incr db)
+  in
   let heap0 = Kernel.grow_heap (k ()) base ~pages:4 in
   let heap_pages = ref 4 in
   let psz = (Kernel.cost (k ())).Treesls_sim.Cost.page_size in
@@ -62,8 +93,14 @@ let replay sys ops ~on_op =
   List.iteri
     (fun idx op ->
       (match op with
-      | Notify i -> Ipc.notify (k ()) !notifs.(i mod Array.length !notifs)
+      | Notify i ->
+        Ipc.notify (k ()) !notifs.(i mod Array.length !notifs);
+        (* park a reply on ring A: published at the next commit, delivered
+           by its flush, shed when the tiny ring is full — all three paths
+           exercised under every crash schedule *)
+        ignore (Net_server.send net_a ~client:(i mod 7) (Bytes.of_string (Printf.sprintf "a%d" i)))
       | Wait i ->
+        ignore (Net_server.send net_b ~client:(i mod 5) (Bytes.of_string (Printf.sprintf "b%d" i)));
         (* only consume pending signals — blocking the driver's single
            thread would wedge the trace *)
         let n = !notifs.(i mod Array.length !notifs) in
@@ -173,6 +210,7 @@ type outcome =
   | Liveness_failed of string
   | Wear_failed of string  (* wearmap invariant broken across crash/restore *)
   | Tseries_failed of string  (* black-box sample torn/duplicated/reordered *)
+  | Extsync_failed of string  (* named-ring reattach or delivered-count drift *)
 
 let outcome_is_pass = function Passed -> true | _ -> false
 
@@ -185,6 +223,7 @@ let outcome_to_string = function
   | Liveness_failed e -> "liveness: " ^ e
   | Wear_failed e -> "wear: " ^ e
   | Tseries_failed e -> "tseries: " ^ e
+  | Extsync_failed e -> "extsync: " ^ e
 
 (* Every writer context the simulator can legitimately put on the wear
    stack; attribution outside this set (including [Wearmap.unattributed])
@@ -296,6 +335,46 @@ let tseries_check sys ~mark =
             Some (Printf.sprintf "pre-crash sample seq %d rewritten across crash/restore" seq)
           else None))
   end
+
+(* Post-recovery extsync invariants: both rings reattach strictly by
+   their persisted names — in REVERSE creation order, so a creation-order
+   (or size-based) claim would cross-wire them — and each ring's
+   persistent delivered counter equals the crash-instant DRAM shadow
+   exactly.  Deliveries are durable the moment they happen (the meta word
+   lives in an eternal PMO), so recovery must neither lose nor replay
+   any.  A crash before the rings' creation committed leaves nothing to
+   claim; that is only acceptable while the shadows are still zero. *)
+let extsync_check sys ~expect_a ~expect_b =
+  let k = System.kernel sys in
+  match Kernel.find_process k ~name:"driver" with
+  | None ->
+    if expect_a = 0 && expect_b = 0 then None
+    else Some "driver process missing after recovery despite deliveries"
+  | Some driver ->
+    let mgr = System.manager sys in
+    let check name expect =
+      (* reattach drains any published-but-undrained backlog; count it
+         separately so the comparison stays exact *)
+      let fresh = ref 0 in
+      match
+        Net_server.reattach k mgr ~proc:driver ~name ~slots:ct_ring_slots
+          ~slot_size:ct_ring_slot_size
+          ~deliver:(fun ~client:_ ~sent_ns:_ ~payload:_ -> incr fresh)
+      with
+      | net ->
+        let d = Net_server.delivered net - !fresh in
+        if d <> expect then
+          Some
+            (Printf.sprintf "ring %s delivered %d (+%d at reattach), shadow says %d" name d
+               !fresh expect)
+        else None
+      | exception Invalid_argument _ ->
+        if expect = 0 then None
+        else Some (Printf.sprintf "ring %s unclaimable after %d deliveries" name expect)
+    in
+    (match check ct_ring_b expect_b with
+    | Some _ as e -> e
+    | None -> check ct_ring_a expect_a)
 
 type config = {
   seed : int;
@@ -517,8 +596,9 @@ let run_one_profiled ?(twins = Hashtbl.create 8) cfg point =
   | Restore_site _ | Op_crash _ -> ());
   let fired = ref false in
   let stop_at = match point with Restore_site (_, k) | Op_crash k -> Some k | _ -> None in
+  let shadow_a = ref 0 and shadow_b = ref 0 in
   (try
-     replay sys ops ~on_op:(fun i ->
+     replay ~delivered:(shadow_a, shadow_b) sys ops ~on_op:(fun i ->
          match stop_at with Some k when i = k -> raise Stop | _ -> ());
      (* cover the trace tail, mirroring the enumeration run *)
      ignore (System.checkpoint sys);
@@ -568,7 +648,10 @@ let run_one_profiled ?(twins = Hashtbl.create 8) cfg point =
               | None -> (
                 match tseries_check sys ~mark:tseries_before with
                 | Some e -> Tseries_failed e
-                | None -> Passed)))
+                | None -> (
+                  match extsync_check sys ~expect_a:!shadow_a ~expect_b:!shadow_b with
+                  | Some e -> Extsync_failed e
+                  | None -> Passed))))
     end
   in
   Warea.set_recovery_bug w false;

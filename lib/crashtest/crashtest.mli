@@ -44,10 +44,16 @@ val gen_trace : seed:int -> ops:int -> op list
 (** Deterministic trace: same [seed]/[ops] — same trace, same commit-point
     numbering, same site hit counts. *)
 
-val replay : Treesls.System.t -> op list -> on_op:(int -> unit) -> unit
+val replay :
+  ?delivered:int ref * int ref -> Treesls.System.t -> op list -> on_op:(int -> unit) -> unit
 (** Replay a trace on a freshly booted system (after its baseline
     checkpoint).  [on_op i] runs after op [i] completes.  An armed crash
-    raising {!Treesls_nvm.Warea.Crashed} mid-op escapes to the caller. *)
+    raising {!Treesls_nvm.Warea.Crashed} mid-op escapes to the caller.
+
+    The trace also drives two same-geometry named extsync reply rings
+    (["ct.a"] on [Notify] ops, ["ct.b"] on [Wait] ops); [delivered]
+    receives a DRAM shadow of each ring's persistent delivered counter,
+    exact at any crash instant. *)
 
 (** {2 Schedules} *)
 
@@ -82,6 +88,13 @@ type outcome =
           consecutive, timestamps nondecreasing, versions strictly
           increasing), or no sample was recorded for the post-recovery
           commit *)
+  | Extsync_failed of string
+      (** an extsync invariant broke across crash/restore: a named reply
+          ring could not be reclaimed (reattached in reverse creation
+          order, so only the persisted header name can disambiguate the
+          equal-geometry rings), or its persistent delivered counter
+          drifted from the crash-instant shadow — a reply lost or
+          double-delivered *)
 
 val outcome_is_pass : outcome -> bool
 val outcome_to_string : outcome -> string

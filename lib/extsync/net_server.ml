@@ -4,10 +4,11 @@ module Clock = Treesls_sim.Clock
 
 type deliver = client:int -> sent_ns:int -> payload:Bytes.t -> unit
 
-type t = { ring : Ring.t; kernel : Kernel.t; deliver : deliver; mutable delivered : int }
+type t = { ring : Ring.t; kernel : Kernel.t; deliver : deliver }
 
 let default_slots = 4096
 let default_slot_size = 1200
+let default_name = "netsrv"
 
 let encode ~client ~sent_ns payload =
   let b = Bytes.create (16 + Bytes.length payload) in
@@ -28,7 +29,10 @@ let flush_visible t =
     | None -> ()
     | Some msg ->
       let client, sent_ns, payload = decode msg in
-      t.delivered <- t.delivered + 1;
+      (* The delivered count lives in the ring's persistent meta word, so
+         it survives crash/restore: the cursor pop above already made the
+         consumption durable, and the count must stay in step with it. *)
+      Ring.set_meta t.ring (Ring.meta t.ring + 1);
       t.deliver ~client ~sent_ns ~payload;
       drain ()
   in
@@ -39,16 +43,18 @@ let register t mgr =
       Ring.on_checkpoint t.ring;
       flush_visible t)
 
-let create ?(slots = default_slots) ?(slot_size = default_slot_size) kernel mgr ~proc ~deliver =
-  let ring = Ring.create kernel proc ~name:"netsrv" ~slots ~slot_size in
-  let t = { ring; kernel; deliver; delivered = 0 } in
+let create ?(slots = default_slots) ?(slot_size = default_slot_size)
+    ?(name = default_name) kernel mgr ~proc ~deliver =
+  let ring = Ring.create kernel proc ~name ~slots ~slot_size in
+  let t = { ring; kernel; deliver } in
   register t mgr;
   t
 
-let reattach ?(slots = default_slots) ?(slot_size = default_slot_size) kernel mgr ~proc ~deliver =
-  let ring = Ring.reattach kernel proc ~name:"netsrv" ~slots ~slot_size in
+let reattach ?(slots = default_slots) ?(slot_size = default_slot_size)
+    ?(name = default_name) kernel mgr ~proc ~deliver =
+  let ring = Ring.reattach kernel proc ~name ~slots ~slot_size in
   Ring.on_restore ring;
-  let t = { ring; kernel; deliver; delivered = 0 } in
+  let t = { ring; kernel; deliver } in
   register t mgr;
   (* Responses published before the crash but not yet drained are still
      owed to their clients. *)
@@ -63,5 +69,5 @@ let send t ~client payload =
   Ring.append ~req t.ring (encode ~client ~sent_ns payload)
 
 let pending t = Ring.unpublished_count t.ring
-let delivered t = t.delivered
+let delivered t = Ring.meta t.ring
 let dropped t = Ring.dropped_count t.ring

@@ -21,24 +21,30 @@ type deliver = client:int -> sent_ns:int -> payload:Bytes.t -> unit
 val create :
   ?slots:int ->
   ?slot_size:int ->
+  ?name:string ->
   Kernel.t ->
   Manager.t ->
   proc:Kernel.process ->
   deliver:deliver ->
   t
 (** Create the ring (eternal PMO owned by [proc], normally the network
-    driver process) and register the checkpoint callback. *)
+    driver process) and register the checkpoint callback.  [name]
+    (default ["netsrv"]) is persisted in the ring header and must be
+    unique per server: multi-tenant setups pass e.g. ["netsrv.t3"] so
+    {!reattach} can never claim another tenant's ring. *)
 
 val reattach :
   ?slots:int ->
   ?slot_size:int ->
+  ?name:string ->
   Kernel.t ->
   Manager.t ->
   proc:Kernel.process ->
   deliver:deliver ->
   t
-(** Recovery path: re-find the ring, run the restore callback (discard
-    unpublished responses), re-register the checkpoint callback. *)
+(** Recovery path: re-find the ring strictly by its persisted [name], run
+    the restore callback (discard unpublished responses), re-register the
+    checkpoint callback and deliver any published-but-undrained backlog. *)
 
 val send : t -> client:int -> Bytes.t -> bool
 (** Queue a response; it becomes visible at the next checkpoint. [false]
@@ -50,7 +56,11 @@ val pending : t -> int
 (** Responses waiting for the next checkpoint. *)
 
 val delivered : t -> int
-(** Total responses released to clients since (re)attachment. *)
+(** Total responses released to clients since the ring was created.  The
+    count is persisted in the ring's eternal header next to the reader
+    cursor, so — like the cursor — it survives crash/restore instead of
+    silently resetting to 0 (SLO rules over delivery counts stay
+    monotone). *)
 
 val dropped : t -> int
 (** Responses shed because the ring was full (see {!Ring.dropped_count}). *)

@@ -1,5 +1,6 @@
 module Kernel = Treesls_kernel.Kernel
 module Kobj = Treesls_cap.Kobj
+module Radix = Treesls_cap.Radix
 module Cost = Treesls_sim.Cost
 module Store = Treesls_nvm.Store
 module Global_meta = Treesls_nvm.Global_meta
@@ -44,14 +45,34 @@ let write_cursor t off v =
 let reader t = read_cursor t 0
 let writer t = read_cursor t 8
 let visible t = read_cursor t 16
+let meta t = read_cursor t 24
+let set_meta t v = write_cursor t 24 v
+
+(* Header layout (page 0): reader/writer/visible cursors at 0/8/16, the
+   caller-owned meta word at 24, then the ring's name (length at 32,
+   bytes from 40) — all persistent, so a restore can claim the PMO
+   strictly by name instead of by creation order. *)
+let name_len_off = 32
+let name_bytes_off = 40
+let max_name = 64
 
 let psz t = (Kernel.cost t.kernel).Cost.page_size
 
 let slot_vaddr t i =
   t.base + psz t + (i mod t.slots * t.slot_size)
 
-let create kernel proc ~name:_ ~slots ~slot_size =
+let write_name t name =
+  Treesls_obs.Wearmap.with_writer "extsync" @@ fun () ->
+  Kernel.write_bytes t.kernel t.proc ~vaddr:(t.base + name_len_off)
+    (int_to_bytes (String.length name));
+  Kernel.write_bytes t.kernel t.proc ~vaddr:(t.base + name_bytes_off)
+    (Bytes.of_string name)
+
+let create kernel proc ~name ~slots ~slot_size =
   assert (slot_size > 4 && slots > 0);
+  if String.length name = 0 || String.length name > max_name then
+    invalid_arg "Ring.create: name must be 1..64 bytes";
+  assert ((Kernel.cost kernel).Cost.page_size >= name_bytes_off + max_name);
   let pages = pages_needed kernel ~slots ~slot_size in
   let pmo = Kernel.make_eternal_pmo kernel ~pages in
   let vpn = Kernel.map_shared kernel proc pmo ~writable:true in
@@ -62,11 +83,11 @@ let create kernel proc ~name:_ ~slots ~slot_size =
   write_cursor t 0 0;
   write_cursor t 8 0;
   write_cursor t 16 0;
+  set_meta t 0;
+  write_name t name;
   t
 
-(* Find the nth eternal PMO under the root. Rings are created in a fixed
-   order at service setup, so creation order identifies them; a production
-   system would use a name registry — creation order is equivalent here. *)
+(* Every eternal PMO under the root, in creation (pmo_id) order. *)
 let eternal_pmos kernel =
   let acc = ref [] in
   Kobj.iter_tree ~root:(Kernel.root kernel) (fun obj ->
@@ -76,35 +97,39 @@ let eternal_pmos kernel =
       | Kobj.Notification _ | Kobj.Irq_notification _ -> ());
   List.sort (fun a b -> Int.compare a.Kobj.pmo_id b.Kobj.pmo_id) !acc
 
-(* Reattach claims: resolving by page count alone would hand two
-   equal-sized rings the same PMO, so the nth reattach asking for a given
-   page count takes the nth same-sized eternal PMO in creation (pmo_id)
-   order — services re-run in a fixed order after a restore, matching the
-   fixed creation order.  Claims are tracked per rebuilt kernel instance,
-   keyed by physical identity (Kobj graphs are cyclic, so structural keys
-   are unusable); only the most recent kernels are kept so the registry
-   stays bounded. *)
-let claims : (Kernel.t * (int, int) Hashtbl.t) list ref = ref []
+(* Read a candidate's persisted name straight from NVM (page 0 of the
+   PMO), without mapping it into any process: non-ring eternal PMOs (or
+   ones whose header page was never materialised) simply fail the
+   comparison and are skipped. *)
+let stored_name kernel (p : Kobj.pmo) =
+  match Radix.get p.Kobj.pmo_radix 0 with
+  | None -> None
+  | Some paddr ->
+    let store = Kernel.store kernel in
+    let len_b = Store.read_page store paddr ~off:name_len_off ~len:8 in
+    let len = Int64.to_int (Bytes.get_int64_le len_b 0) in
+    if len <= 0 || len > max_name then None
+    else
+      Some (Bytes.to_string (Store.read_page store paddr ~off:name_bytes_off ~len))
 
-let claim_table kernel =
-  match List.find_opt (fun (k, _) -> k == kernel) !claims with
-  | Some (_, tbl) -> tbl
-  | None ->
-    let tbl = Hashtbl.create 8 in
-    claims := (kernel, tbl) :: List.filteri (fun i _ -> i < 7) !claims;
-    tbl
-
-let reattach kernel proc ~name:_ ~slots ~slot_size =
+let reattach kernel proc ~name ~slots ~slot_size =
+  (* Claim strictly by the name persisted in the header: two tenants with
+     equal-sized rings can reattach in any order (or not at all) without
+     cross-claiming each other's queued responses. *)
   let pages = pages_needed kernel ~slots ~slot_size in
-  let tbl = claim_table kernel in
-  let already = Option.value ~default:0 (Hashtbl.find_opt tbl pages) in
-  let same_size = List.filter (fun p -> p.Kobj.pmo_pages = pages) (eternal_pmos kernel) in
   let pmo =
-    match List.nth_opt same_size already with
+    match
+      List.find_opt
+        (fun p ->
+          p.Kobj.pmo_pages = pages && stored_name kernel p = Some name)
+        (eternal_pmos kernel)
+    with
     | Some p -> p
-    | None -> invalid_arg "Ring.reattach: eternal PMO not found"
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Ring.reattach: no eternal PMO named %S with %d pages"
+           name pages)
   in
-  Hashtbl.replace tbl pages (already + 1);
   (* The restored VM space usually still maps the ring; reuse that region
      rather than mapping it twice. *)
   let existing =

@@ -19,12 +19,26 @@ type t
 
 val create : Kernel.t -> Kernel.process -> name:string -> slots:int -> slot_size:int -> t
 (** Allocate an eternal PMO sized for [slots] messages of at most
-    [slot_size-4] bytes each and map it into the process. *)
+    [slot_size-4] bytes each and map it into the process.  [name]
+    (1..64 bytes, unique per ring) is persisted in the header page and is
+    what {!reattach} claims by; multiple equal-sized rings must use
+    distinct names. *)
 
 val reattach : Kernel.t -> Kernel.process -> name:string -> slots:int -> slot_size:int -> t
-(** After recovery: locate the eternal PMO by creation order under the new
-    kernel's root and re-derive cursors from its (preserved) content.
-    [name], [slots] and [slot_size] must match {!create}. *)
+(** After recovery: locate the eternal PMO whose persisted header name
+    equals [name] under the new kernel's root and re-derive cursors from
+    its (preserved) content.  [name], [slots] and [slot_size] must match
+    {!create}.  Claiming is strictly by name — reattach order does not
+    matter, and equal-sized rings can never cross-claim.  Raises
+    [Invalid_argument] when no such ring exists. *)
+
+val meta : t -> int
+(** One caller-owned word persisted in the ring's header page (eternal:
+    survives crashes, never rolled back).  {!create} zeroes it;
+    {!reattach} reads it back.  [Net_server] stores its delivered count
+    here. *)
+
+val set_meta : t -> int -> unit
 
 val append : ?req:int -> t -> Bytes.t -> bool
 (** Enqueue a message (not yet visible); [false] when the ring is full.

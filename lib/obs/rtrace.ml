@@ -30,6 +30,10 @@ type t = {
   mutable current : int; (* 0 = no ambient request *)
   enq2vis : Histogram.t;
   e2e : Histogram.t;
+  (* Per-origin latency breakdown: origin -> (enq2vis, e2e).  Fed on
+     release only, like the global pair; bounded by the origin vocabulary
+     (op name, optionally prefixed by tenant). *)
+  by_origin : (string, Histogram.t * Histogram.t) Hashtbl.t;
   mutable released : int;
   mutable internal : int;
   mutable shed : int;
@@ -51,6 +55,7 @@ let create ?(done_capacity = 1024) () =
     current = 0;
     enq2vis = Histogram.create ();
     e2e = Histogram.create ();
+    by_origin = Hashtbl.create 16;
     released = 0;
     internal = 0;
     shed = 0;
@@ -127,6 +132,16 @@ let released t ~now ~id ~version =
     rq.rq_outcome <- Released;
     Histogram.add t.enq2vis (now - rq.rq_enqueued_ns);
     Histogram.add t.e2e (now - rq.rq_arrive_ns);
+    let o_enq2vis, o_e2e =
+      match Hashtbl.find_opt t.by_origin rq.rq_origin with
+      | Some pair -> pair
+      | None ->
+        let pair = (Histogram.create (), Histogram.create ()) in
+        Hashtbl.replace t.by_origin rq.rq_origin pair;
+        pair
+    in
+    Histogram.add o_enq2vis (now - rq.rq_enqueued_ns);
+    Histogram.add o_e2e (now - rq.rq_arrive_ns);
     (t.per_version <-
       (match t.per_version with
       | (v, n) :: rest when v = version -> (v, n + 1) :: rest
@@ -215,6 +230,26 @@ let summarize h =
 
 let enq2vis_summary t = summarize t.enq2vis
 let e2e_summary t = summarize t.e2e
+
+let origins t =
+  Hashtbl.fold (fun o _ acc -> o :: acc) t.by_origin [] |> List.sort String.compare
+
+(* Merge every origin matching [prefix] into one (enq2vis, e2e) pair —
+   the serving harness tags origins "t<i>/kv.<op>" and asks per tenant. *)
+let summaries_prefix t ~prefix =
+  let is_prefix o =
+    String.length o >= String.length prefix
+    && String.sub o 0 (String.length prefix) = prefix
+  in
+  let acc_enq2vis = Histogram.create () and acc_e2e = Histogram.create () in
+  Hashtbl.iter
+    (fun o (h_enq2vis, h_e2e) ->
+      if is_prefix o then begin
+        Histogram.merge ~into:acc_enq2vis h_enq2vis;
+        Histogram.merge ~into:acc_e2e h_e2e
+      end)
+    t.by_origin;
+  (summarize acc_enq2vis, summarize acc_e2e)
 
 let pp_req ppf rq =
   let us v = float_of_int v /. 1e3 in

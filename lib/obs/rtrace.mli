@@ -113,4 +113,13 @@ val enq2vis_summary : t -> summary
 val e2e_summary : t -> summary
 (** Arrive→visible latency: what the client observes. *)
 
+val origins : t -> string list
+(** Every origin that has released at least one request, sorted. *)
+
+val summaries_prefix : t -> prefix:string -> summary * summary
+(** [(enq2vis, e2e)] summaries over every origin starting with [prefix]
+    (e.g. ["t3/"] for tenant 3's ops, [""] for everything).  Built by
+    merging the per-origin histograms, so percentiles are exact to bucket
+    resolution. *)
+
 val pp_req : Format.formatter -> req -> unit

@@ -36,6 +36,28 @@ let create ?(theta = 0.99) ~n rng =
   in
   { rng; n; theta; alpha; zetan; eta }
 
+(* Extending the domain only needs the new terms of the harmonic sum:
+   zeta(n', theta) = zeta(n, theta) + sum_{i=n+1..n'} i^-theta.  For the
+   incremental range we always sum exactly (inserts arrive one or a few at
+   a time), so repeated extension stays O(total growth), not O(n) each. *)
+let extend t ~n =
+  if n <= t.n then t
+  else begin
+    let added = ref 0.0 in
+    for i = t.n + 1 to n do
+      added := !added +. (1.0 /. Float.pow (float_of_int i) t.theta)
+    done;
+    let zetan = t.zetan +. !added in
+    let zeta2 = zeta 2 t.theta in
+    let eta =
+      (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. t.theta))
+      /. (1.0 -. (zeta2 /. zetan))
+    in
+    { t with n; zetan; eta }
+  end
+
+let domain t = t.n
+
 let next t =
   let u = Rng.float t.rng 1.0 in
   let uz = u *. t.zetan in

@@ -10,6 +10,15 @@ val create : ?theta:float -> n:int -> Rng.t -> t
 (** [create ~theta ~n rng] samples from [\[0, n)] with skew [theta]
     (default 0.99, the YCSB default). *)
 
+val extend : t -> n:int -> t
+(** [extend t ~n] grows the sampling domain to [\[0, n)] (no-op when
+    [n <= domain t]).  The zeta constant is updated incrementally with the
+    new harmonic terms only — O(n - domain t), so per-insert extension is
+    cheap.  The returned sampler shares [t]'s random stream. *)
+
+val domain : t -> int
+(** Current domain size [n]. *)
+
 val next : t -> int
 (** Next sample; item 0 is the most popular. *)
 

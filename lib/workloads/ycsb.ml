@@ -1,7 +1,13 @@
 module Rng = Treesls_util.Rng
 module Zipf = Treesls_util.Zipf
 
-type workload = A | B | C | Update_only | Insert_only
+type workload =
+  | A
+  | B
+  | C
+  | Update_only
+  | Insert_only
+  | Mix of { read : float; update : float; insert : float }
 
 let name = function
   | A -> "Workload A"
@@ -9,30 +15,50 @@ let name = function
   | C -> "Workload C"
   | Update_only -> "100% Update"
   | Insert_only -> "100% Insert"
+  | Mix { read; update; insert } ->
+    Printf.sprintf "Mix %.0f/%.0f/%.0f" (100. *. read) (100. *. update)
+      (100. *. insert)
 
 let all = [ A; B; C; Update_only; Insert_only ]
 
 type op = Read of int | Update of int | Insert of int
 
-type t = { workload : workload; rng : Rng.t; zipf : Zipf.t; mutable keys : int }
+type t = {
+  workload : workload;
+  rng : Rng.t;
+  mutable zipf : Zipf.t;
+  mutable keys : int;
+}
 
-let read_fraction = function
-  | A -> 0.5
-  | B -> 0.95
-  | C -> 1.0
-  | Update_only | Insert_only -> 0.0
+(* (read, update) fractions; the insert fraction is the remainder. *)
+let fractions = function
+  | A -> (0.5, 0.5)
+  | B -> (0.95, 0.05)
+  | C -> (1.0, 0.0)
+  | Update_only -> (0.0, 1.0)
+  | Insert_only -> (0.0, 0.0)
+  | Mix { read; update; insert } ->
+    let total = read +. update +. insert in
+    if total <= 0.0 then invalid_arg "Ycsb.create: empty mix";
+    (read /. total, update /. total)
 
 let create workload ~keys rng =
+  ignore (fractions workload);
   { workload; rng; zipf = Zipf.create ~n:keys rng; keys }
 
+let insert t =
+  let k = t.keys in
+  t.keys <- t.keys + 1;
+  (* Inserts extend the Zipfian domain (incremental harmonic update), so
+     later reads/updates can draw the new key. *)
+  t.zipf <- Zipf.extend t.zipf ~n:t.keys;
+  Insert k
+
 let next t =
-  match t.workload with
-  | Insert_only ->
-    let k = t.keys in
-    t.keys <- t.keys + 1;
-    Insert k
-  | (A | B | C | Update_only) as w ->
-    let k = Zipf.scrambled t.zipf in
-    if Rng.float t.rng 1.0 < read_fraction w then Read k else Update k
+  let read_f, update_f = fractions t.workload in
+  let u = Rng.float t.rng 1.0 in
+  if u < read_f then Read (Zipf.scrambled t.zipf)
+  else if u < read_f +. update_f then Update (Zipf.scrambled t.zipf)
+  else insert t
 
 let key_count t = t.keys

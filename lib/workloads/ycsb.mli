@@ -5,10 +5,21 @@
     Figure 13: A (50% read / 50% update), B (95/5), C (100% read),
     100% Update, 100% Insert. *)
 
-type workload = A | B | C | Update_only | Insert_only
+type workload =
+  | A
+  | B
+  | C
+  | Update_only
+  | Insert_only
+  | Mix of { read : float; update : float; insert : float }
+      (** Arbitrary read/update/insert mix (fractions are normalised; at
+          least one must be positive).  The serving harness uses this for
+          per-tenant op mixes. *)
 
 val name : workload -> string
+
 val all : workload list
+(** The five named Figure-13 workloads (excludes [Mix]). *)
 
 type op = Read of int | Update of int | Insert of int
 (** Key indices; [Insert i] introduces key [i] (= current key count). *)
